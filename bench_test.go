@@ -1,0 +1,160 @@
+// Package repro's root bench harness maps every table and figure of the
+// paper's evaluation to a testing.B benchmark. Each benchmark runs the
+// corresponding experiment (internal/exp) on the simulated machine and
+// prints the same rows the paper reports; reported metrics summarize
+// the headline numbers.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The SPEC-suite figures take tens of seconds each; cmd/benchtab runs
+// the same experiments with finer selection.
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/ir"
+	"repro/internal/rt"
+	"repro/internal/sfi"
+	"repro/internal/workloads"
+)
+
+// runExperiment executes the experiment once (cached across b.N
+// iterations — the experiments are deterministic) and prints its table.
+var expCache sync.Map
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		if cached, ok := expCache.Load(id); ok {
+			_ = cached
+			continue
+		}
+		t, err := e.Run()
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		expCache.Store(id, t)
+		fmt.Println()
+		fmt.Print(t.Text())
+	}
+}
+
+// --- Segue (§6.1–§6.3) ---
+
+func BenchmarkFig1Patterns(b *testing.B)       { runExperiment(b, "fig1") }
+func BenchmarkFig3SpecWasm2c(b *testing.B)     { runExperiment(b, "fig3") }
+func BenchmarkBoundsCheckSegue(b *testing.B)   { runExperiment(b, "boundsnote") }
+func BenchmarkTable2BinarySize(b *testing.B)   { runExperiment(b, "table2") }
+func BenchmarkFirefoxFont(b *testing.B)        { runExperiment(b, "firefox-font") }
+func BenchmarkFirefoxXML(b *testing.B)         { runExperiment(b, "firefox-xml") }
+func BenchmarkFig4SightglassWAMR(b *testing.B) { runExperiment(b, "fig4") }
+func BenchmarkPolybenchWAMR(b *testing.B)      { runExperiment(b, "polybench") }
+func BenchmarkDhrystoneWAMR(b *testing.B)      { runExperiment(b, "dhrystone") }
+func BenchmarkFig5SpecLFI(b *testing.B)        { runExperiment(b, "fig5") }
+
+// --- ColorGuard (§6.4, §5.2, §7) ---
+
+func BenchmarkTransitionCost(b *testing.B)       { runExperiment(b, "transition") }
+func BenchmarkScalingSlots(b *testing.B)         { runExperiment(b, "scaling") }
+func BenchmarkFig6FaasThroughput(b *testing.B)   { runExperiment(b, "fig6") }
+func BenchmarkFig7aContextSwitches(b *testing.B) { runExperiment(b, "fig7a") }
+func BenchmarkFig7bDTLBMisses(b *testing.B)      { runExperiment(b, "fig7b") }
+func BenchmarkTable1Verification(b *testing.B)   { runExperiment(b, "table1") }
+func BenchmarkMTEInitTeardown(b *testing.B)      { runExperiment(b, "mte") }
+
+// --- Ablations (DESIGN.md design choices) ---
+
+func BenchmarkAblationSegueParts(b *testing.B)    { runExperiment(b, "ablation-segue") }
+func BenchmarkAblationGuardGeometry(b *testing.B) { runExperiment(b, "ablation-guards") }
+func BenchmarkAblationStripeCount(b *testing.B)   { runExperiment(b, "ablation-stripes") }
+func BenchmarkAblationFSGSBASE(b *testing.B)      { runExperiment(b, "ablation-fsgsbase") }
+
+// --- True throughput benchmarks of the substrate itself ---
+
+// BenchmarkCompileSieve measures SFI compilation speed.
+func BenchmarkCompileSieve(b *testing.B) {
+	k, err := workloads.Sightglass().Find("sieve")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := k.Build(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sfi.Compile(m, sfi.DefaultConfig(sfi.ModeSegue)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEmulator measures simulated-instruction throughput.
+func BenchmarkEmulator(b *testing.B) {
+	k, err := workloads.Sightglass().Find("seqhash")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod, err := rt.CompileModule(k.Build(false), sfi.DefaultConfig(sfi.ModeSegue))
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := rt.NewInstance(mod, rt.InstanceOptions{FSGSBASE: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var before uint64
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.Invoke("run", 10000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(inst.Mach.Stats.Insts-before)/float64(b.N), "sim-insts/op")
+}
+
+// BenchmarkInterp measures reference-interpreter throughput, for the
+// differential-testing cost picture.
+func BenchmarkInterp(b *testing.B) {
+	k, err := workloads.Sightglass().Find("seqhash")
+	if err != nil {
+		b.Fatal(err)
+	}
+	interp, err := ir.NewInterp(k.Build(false), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := interp.Invoke("run", 10000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInstantiate measures sandbox creation cost (the paper's
+// microseconds-scale instantiation claim, §2).
+func BenchmarkInstantiate(b *testing.B) {
+	m := ir.NewModule("inst", 1, 1)
+	fb := m.NewFunc("f", ir.Sig(nil, []ir.ValType{ir.I32}))
+	fb.I32(1)
+	fb.MustBuild()
+	m.MustExport("f")
+	mod, err := rt.CompileModule(m, sfi.DefaultConfig(sfi.ModeSegue))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.NewInstance(mod, rt.InstanceOptions{FSGSBASE: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

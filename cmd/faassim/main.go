@@ -1,0 +1,88 @@
+// Command faassim runs the §6.4.3 FaaS scaling simulation with
+// adjustable parameters: ColorGuard single-process versus N-process
+// scaling on a single core.
+//
+// Usage:
+//
+//	faassim                          # sweep 1..15 processes, all handlers
+//	faassim -procs 8 -handler regex-filtering
+//	faassim -compute 50000 -pages 64 -arrivals 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+	"repro/internal/faas"
+	"repro/internal/sfi"
+	"repro/internal/workloads"
+)
+
+func main() {
+	handler := flag.String("handler", "", "handler kernel (default: all three)")
+	procs := flag.Int("procs", 0, "multiprocess process count (default: sweep 1..15)")
+	computeNs := flag.Float64("compute", 0, "override per-request compute ns (default: measure the kernel)")
+	pages := flag.Int("pages", 48, "instance pages touched per request")
+	arrivals := flag.Int("arrivals", 40, "request arrivals per 1 ms epoch")
+	duration := flag.Float64("seconds", 2, "simulated seconds")
+	flag.Parse()
+
+	names := []string{"html-templating", "hash-load-balance", "regex-filtering"}
+	if *handler != "" {
+		names = []string{*handler}
+	}
+	for _, name := range names {
+		w, err := buildWorkload(name, *computeNs, *pages)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faassim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s: compute %.1f µs/request, %d pages ==\n", w.Name, w.ComputeNs/1e3, w.Pages)
+		fmt.Printf("%-6s  %-12s  %-12s  %-8s  %-14s  %-12s\n",
+			"procs", "mp rps", "cg rps", "gain", "mp switches", "mp dtlb")
+		ns := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+		if *procs > 0 {
+			ns = []int{*procs}
+		}
+		for _, n := range ns {
+			cgCfg := faas.DefaultConfig(w, 1, true)
+			mpCfg := faas.DefaultConfig(w, n, false)
+			cgCfg.ArrivalsPerEpoch = *arrivals
+			mpCfg.ArrivalsPerEpoch = *arrivals
+			cgCfg.DurationNs = *duration * 1e9
+			mpCfg.DurationNs = *duration * 1e9
+			cg := faas.Run(cgCfg)
+			mp := faas.Run(mpCfg)
+			gain := (cg.ThroughputRPS/mp.ThroughputRPS - 1) * 100
+			fmt.Printf("%-6d  %-12.0f  %-12.0f  %+.1f%%   %-14d  %-12d\n",
+				n, mp.ThroughputRPS, cg.ThroughputRPS, gain, mp.CtxSwitches, mp.DTLBMisses)
+		}
+		fmt.Println()
+	}
+}
+
+func buildWorkload(name string, computeNs float64, pages int) (faas.Workload, error) {
+	if computeNs > 0 {
+		return faas.Workload{Name: name, ComputeNs: computeNs, Pages: pages}, nil
+	}
+	batches := map[string]uint64{
+		"html-templating":   10,
+		"hash-load-balance": 256,
+		"regex-filtering":   280,
+	}
+	batch, ok := batches[name]
+	if !ok {
+		return faas.Workload{}, fmt.Errorf("unknown handler %q", name)
+	}
+	k, err := workloads.FaaS().Find(name)
+	if err != nil {
+		return faas.Workload{}, err
+	}
+	m, err := exp.MeasureKernel(k, sfi.DefaultConfig(sfi.ModeSegue), []uint64{batch})
+	if err != nil {
+		return faas.Workload{}, err
+	}
+	return faas.Workload{Name: name, ComputeNs: m.Nanos, Pages: pages}, nil
+}

@@ -1,0 +1,101 @@
+// Command sfic compiles a module under the different SFI schemes and
+// prints the listings side by side — the Figure 1 comparison, on demand.
+//
+// Usage:
+//
+//	sfic [-kernel name] [-mode native|guard|segue|boundscheck|lfi] [-all]
+//
+// Without flags it shows the paper's two Figure 1 patterns under
+// native, classic-SFI, and Segue compilation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ir"
+	"repro/internal/sfi"
+	"repro/internal/workloads"
+)
+
+var modeByName = map[string]sfi.Mode{
+	"native":      sfi.ModeNative,
+	"guard":       sfi.ModeGuard,
+	"segue":       sfi.ModeSegue,
+	"boundscheck": sfi.ModeBoundsCheck,
+	"boundssegue": sfi.ModeBoundsSegue,
+	"lfi":         sfi.ModeLFI,
+	"lfisegue":    sfi.ModeLFISegue,
+}
+
+func main() {
+	kernel := flag.String("kernel", "", "compile a benchmark kernel (e.g. sieve, 429_mcf) instead of the Figure 1 demo")
+	modeName := flag.String("mode", "", "single mode to print (default: native, guard, segue side by side)")
+	flag.Parse()
+
+	var m *ir.Module
+	if *kernel != "" {
+		k, err := findKernel(*kernel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		m = k.Build(false)
+	} else {
+		m = fig1Module()
+	}
+
+	modes := []sfi.Mode{sfi.ModeNative, sfi.ModeGuard, sfi.ModeSegue}
+	if *modeName != "" {
+		md, ok := modeByName[*modeName]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sfic: unknown mode %q\n", *modeName)
+			os.Exit(1)
+		}
+		modes = []sfi.Mode{md}
+	}
+
+	for _, mode := range modes {
+		prog, _, err := sfi.Compile(m, sfi.DefaultConfig(mode))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sfic: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("---- %s (total %d bytes) ----\n", mode, prog.CodeBytes())
+		for _, f := range prog.Funcs {
+			fmt.Print(sfi.Disassemble(f))
+		}
+		fmt.Println()
+	}
+}
+
+func findKernel(name string) (workloads.Kernel, error) {
+	for _, s := range []workloads.Suite{
+		workloads.Sightglass(), workloads.Spec2006(), workloads.Spec2017(),
+		workloads.Polybench(), workloads.Firefox(), workloads.FaaS(),
+	} {
+		if k, err := s.Find(name); err == nil {
+			return k, nil
+		}
+	}
+	return workloads.Kernel{}, fmt.Errorf("sfic: no kernel %q in any suite", name)
+}
+
+// fig1Module builds the paper's Figure 1 patterns.
+func fig1Module() *ir.Module {
+	m := ir.NewModule("fig1", 1, 1)
+	p1 := m.NewFunc("pattern1_int_to_ptr", ir.Sig([]ir.ValType{ir.I64}, []ir.ValType{ir.I64}))
+	p1.Get(0).I32WrapI64().I64Load(0)
+	p1.MustBuild()
+	p2 := m.NewFunc("pattern2_struct_arr", ir.Sig([]ir.ValType{ir.I32, ir.I32}, []ir.ValType{ir.I32}))
+	p2.Get(1).I32(2).I32Shl().Get(0).I32Add()
+	p2.I32Load(8)
+	p2.MustBuild()
+	m.MustExport("pattern1_int_to_ptr")
+	m.MustExport("pattern2_struct_arr")
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return m
+}

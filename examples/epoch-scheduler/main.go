@@ -1,0 +1,97 @@
+// epoch-scheduler shows the mechanism under the FaaS comparison (§6.4):
+// Wasmtime-style epoch interruption lets one thread preempt and resume
+// sandboxes at user level. Three instances run long loops; a
+// round-robin scheduler slices them on one simulated core, and each
+// instance finishes with the correct result despite being interrupted
+// hundreds of times.
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/ir"
+	"repro/internal/rt"
+	"repro/internal/sfi"
+)
+
+// workModule sums i*i for i in [0, n): long enough to be preempted many
+// times per epoch quantum.
+func workModule() *ir.Module {
+	m := ir.NewModule("work", 1, 1)
+	fb := m.NewFunc("work", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}), ir.I32, ir.I32)
+	fb.LoopNDyn(1, 0, 0, 1, func() {
+		fb.Get(1).Get(1).I32Mul().Get(2).I32Add().Set(2)
+	})
+	fb.Get(2)
+	fb.MustBuild()
+	m.MustExport("work")
+	return m
+}
+
+func main() {
+	cfg := sfi.DefaultConfig(sfi.ModeSegue)
+	cfg.EpochChecks = true // compile epoch checks into loop headers
+	mod, err := rt.CompileModule(workModule(), cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	type job struct {
+		inst   *rt.Instance
+		n      uint64
+		done   bool
+		yields int
+	}
+	var jobs []*job
+	for i, n := range []uint64{300000, 200000, 100000} {
+		inst, err := rt.NewInstance(mod, rt.InstanceOptions{FSGSBASE: true, Pkey: uint8(i + 1)})
+		if err != nil {
+			panic(err)
+		}
+		jobs = append(jobs, &job{inst: inst, n: n})
+	}
+
+	// Round-robin scheduler: each slice is a 50k-cycle epoch.
+	const quantum = 50_000
+	fmt.Println("scheduling 3 sandboxes on one simulated core (50k-cycle quanta):")
+	started := make([]bool, len(jobs))
+	for {
+		live := 0
+		for i, j := range jobs {
+			if j.done {
+				continue
+			}
+			live++
+			j.inst.Mach.EpochEnabled = true
+			j.inst.Mach.EpochDeadline = j.inst.Mach.Stats.Cycles + quantum
+			var err error
+			if !started[i] {
+				started[i] = true
+				_, err = j.inst.Invoke("work", j.n)
+			} else {
+				err = j.inst.Resume()
+			}
+			if err == nil {
+				j.done = true
+				fmt.Printf("  job %d finished: work(%d) = %d after %d preemptions (%.2f ms simulated)\n",
+					i, j.n, j.inst.Mach.Result(), j.yields,
+					j.inst.Mach.Stats.Nanos(&j.inst.Mach.Cost)/1e6)
+				continue
+			}
+			var trap *cpu.Trap
+			if !errors.As(err, &trap) || trap.Kind != cpu.TrapEpoch {
+				panic(err)
+			}
+			j.yields++
+		}
+		if live == 0 {
+			break
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("every preemption and resume is a user-level transition —")
+	fmt.Println("with ColorGuard, a PKRU write (≈44 cycles) instead of a process switch (microseconds).")
+}

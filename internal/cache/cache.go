@@ -1,0 +1,189 @@
+// Package cache simulates the memory-hierarchy structures whose behaviour
+// the paper's evaluation depends on: a set-associative data TLB (Figure 7b
+// counts dTLB misses under multi-process vs ColorGuard scaling) and a
+// two-level set-associative data cache (the pointer-compression effect
+// that makes 429_mcf run faster under Wasm than natively is a cache
+// effect of 4-byte vs 8-byte pointers).
+//
+// The structures are true LRU and deterministic; costs (cycles per miss)
+// are applied by the CPU emulator, not here.
+package cache
+
+// TLB is a set-associative translation lookaside buffer over 4 KiB
+// pages. The zero value is not usable; construct with NewTLB.
+type TLB struct {
+	sets     uint64
+	ways     int
+	tags     []uint64 // sets*ways entries; 0 = invalid (vpn+1 stored)
+	stamps   []uint64
+	clock    uint64
+	pageBits uint
+
+	Hits    uint64
+	Misses  uint64
+	Flushes uint64
+}
+
+// NewTLB returns a TLB with the given total entry count and
+// associativity. Entries must be a multiple of ways and sets a power of
+// two (e.g. 64 entries, 4 ways — a typical L1 dTLB).
+func NewTLB(entries, ways int) *TLB {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic("cache: bad TLB geometry")
+	}
+	sets := entries / ways
+	if sets&(sets-1) != 0 {
+		panic("cache: TLB set count must be a power of two")
+	}
+	return &TLB{sets: uint64(sets), ways: ways, tags: make([]uint64, entries), stamps: make([]uint64, entries), pageBits: 12}
+}
+
+// Access looks up the page containing vaddr, updating hit/miss counters
+// and LRU state. It returns true on a hit.
+func (t *TLB) Access(vaddr uint64) bool {
+	vpn := vaddr >> t.pageBits
+	set := vpn & (t.sets - 1)
+	base := int(set) * t.ways
+	t.clock++
+	tag := vpn + 1
+	victim, oldest := base, t.stamps[base]
+	for i := base; i < base+t.ways; i++ {
+		if t.tags[i] == tag {
+			t.stamps[i] = t.clock
+			t.Hits++
+			return true
+		}
+		if t.stamps[i] < oldest {
+			victim, oldest = i, t.stamps[i]
+		}
+	}
+	t.Misses++
+	t.tags[victim] = tag
+	t.stamps[victim] = t.clock
+	return false
+}
+
+// Flush invalidates all entries, as a process context switch (address
+// space change without PCID reuse) does.
+func (t *TLB) Flush() {
+	for i := range t.tags {
+		t.tags[i] = 0
+		t.stamps[i] = 0
+	}
+	t.Flushes++
+}
+
+// ResetStats zeroes the counters without touching entries.
+func (t *TLB) ResetStats() { t.Hits, t.Misses, t.Flushes = 0, 0, 0 }
+
+// Cache is one level of a set-associative data cache with true-LRU
+// replacement. Levels chain through Next; Access recurses on miss.
+type Cache struct {
+	Name     string
+	lineBits uint
+	sets     uint64
+	ways     int
+	tags     []uint64
+	stamps   []uint64
+	clock    uint64
+
+	Hits   uint64
+	Misses uint64
+
+	// Next is the level below (nil = memory).
+	Next *Cache
+}
+
+// NewCache returns a cache of the given total size in bytes, line size,
+// and associativity.
+func NewCache(name string, sizeBytes, lineBytes, ways int) *Cache {
+	if lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
+		panic("cache: line size must be a power of two")
+	}
+	lines := sizeBytes / lineBytes
+	if lines <= 0 || lines%ways != 0 {
+		panic("cache: bad cache geometry")
+	}
+	sets := lines / ways
+	if sets&(sets-1) != 0 {
+		panic("cache: set count must be a power of two")
+	}
+	lb := uint(0)
+	for 1<<lb != lineBytes {
+		lb++
+	}
+	return &Cache{Name: name, lineBits: lb, sets: uint64(sets), ways: ways,
+		tags: make([]uint64, lines), stamps: make([]uint64, lines)}
+}
+
+// Access looks up the line containing addr. It returns the number of
+// levels that missed (0 = L1 hit, 1 = L1 miss/L2 hit, 2 = missed both).
+func (c *Cache) Access(addr uint64) int {
+	ln := addr >> c.lineBits
+	set := ln & (c.sets - 1)
+	base := int(set) * c.ways
+	c.clock++
+	tag := ln + 1
+	victim, oldest := base, c.stamps[base]
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == tag {
+			c.stamps[i] = c.clock
+			c.Hits++
+			return 0
+		}
+		if c.stamps[i] < oldest {
+			victim, oldest = i, c.stamps[i]
+		}
+	}
+	c.Misses++
+	c.tags[victim] = tag
+	c.stamps[victim] = c.clock
+	if c.Next != nil {
+		return 1 + c.Next.Access(addr)
+	}
+	return 1
+}
+
+// Flush invalidates every line at this level and below.
+func (c *Cache) Flush() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.stamps[i] = 0
+	}
+	if c.Next != nil {
+		c.Next.Flush()
+	}
+}
+
+// ResetStats zeroes counters at this level and below.
+func (c *Cache) ResetStats() {
+	c.Hits, c.Misses = 0, 0
+	if c.Next != nil {
+		c.Next.ResetStats()
+	}
+}
+
+// Hierarchy bundles the default memory-hierarchy configuration used by
+// the CPU emulator: a 64-entry 4-way dTLB, a 48 KiB 12-way L1D, and a
+// 2 MiB 16-way L2 — roughly the Raptor Lake shapes from the paper's
+// test machine.
+type Hierarchy struct {
+	DTLB *TLB
+	L1D  *Cache
+}
+
+// NewHierarchy returns the default hierarchy.
+func NewHierarchy() *Hierarchy {
+	l2 := NewCache("L2", 2<<20, 64, 16)
+	l1 := NewCache("L1D", 48<<10, 64, 12)
+	l1.Next = l2
+	return &Hierarchy{DTLB: NewTLB(64, 4), L1D: l1}
+}
+
+// Flush models a full address-space switch: TLB and caches lose their
+// useful contents. (Caches are physically tagged in reality, but a
+// process switch replaces the working set, which this approximates.)
+func (h *Hierarchy) Flush() {
+	h.DTLB.Flush()
+	h.L1D.Flush()
+}

@@ -1,0 +1,108 @@
+// Package colorguard implements the striping arithmetic of ColorGuard
+// (§3.2, §5.1): how many MPK colors a slot/guard geometry needs, which
+// color each slot gets, and the PKRU values transitions write. The
+// pooling allocator (internal/pool) uses it to pack sandboxes into what
+// guard-page SFI wastes as dead address space.
+package colorguard
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// MaxKeys is the number of MPK protection keys usable for striping;
+// key 0 stays with the runtime, leaving 15 (the paper's 15× ceiling).
+const MaxKeys = mem.NumPkeys - 1
+
+// StripeCount returns how many stripes (colors) are needed so that the
+// differently-colored slots following a sandbox cover its guard
+// requirement: guardBytes of space that the sandbox itself must never
+// be able to touch. In the simple case this is guard/slot + 1 — the
+// slots that fit into the guard range, plus the color of the protected
+// slot itself (§5.1).
+//
+// The result is clamped to the available keys; the caller must then
+// make up any uncovered remainder with real guard pages (invariant 5
+// of Table 1 captures the lower bound).
+func StripeCount(slotBytes, guardBytes uint64, keysAvailable int) int {
+	if keysAvailable > MaxKeys {
+		keysAvailable = MaxKeys
+	}
+	if keysAvailable < 2 || slotBytes == 0 {
+		return 1
+	}
+	want := int(ceilDiv(guardBytes, slotBytes)) + 1
+	if want > keysAvailable {
+		return keysAvailable
+	}
+	if want < 1 {
+		return 1
+	}
+	return want
+}
+
+func ceilDiv(a, b uint64) uint64 {
+	if b == 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// KeyForSlot returns the MPK key for a slot index under the striping
+// pattern: colors cycle 1..stripes so identically-colored slots are
+// exactly stripes slots apart. Stripes of 1 mean no coloring (key 0).
+func KeyForSlot(slot, stripes int) uint8 {
+	if stripes <= 1 {
+		return 0
+	}
+	return uint8(1 + slot%stripes)
+}
+
+// PkruFor returns the PKRU value a thread writes when entering a
+// sandbox with the given color: only key 0 (runtime) and the sandbox's
+// own color stay accessible.
+func PkruFor(key uint8) uint32 {
+	if key == 0 {
+		return mem.PkruAllowAll
+	}
+	return mem.PkruAllowOnly(key)
+}
+
+// UncoveredGuard returns how many bytes of real guard region must
+// follow each slot when the stripes alone cannot cover guardBytes —
+// the "combination of stripes and guard regions" case of §5.1.
+func UncoveredGuard(slotBytes, guardBytes uint64, stripes int) uint64 {
+	if stripes <= 1 {
+		return guardBytes
+	}
+	covered := slotBytes * uint64(stripes-1)
+	if covered >= guardBytes {
+		return 0
+	}
+	return guardBytes - covered
+}
+
+// CheckStriping verifies the core ColorGuard safety property on a
+// concrete slot sequence: any two slots with the same color must be at
+// least guardBytes apart, measured from the end of the first slot's
+// accessible memory (memBytes) to the start of the second, so an
+// out-of-bounds access from one can never reach the other.
+func CheckStriping(slotAddrs []uint64, memBytes, guardBytes uint64, keyOf func(int) uint8) error {
+	for i := range slotAddrs {
+		for j := i + 1; j < len(slotAddrs); j++ {
+			if keyOf(i) != keyOf(j) {
+				continue
+			}
+			lo, hi := slotAddrs[i], slotAddrs[j]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if hi < lo+memBytes || hi-(lo+memBytes) < guardBytes {
+				return fmt.Errorf("colorguard: slots %d and %d share color %d only %d bytes apart (need %d)",
+					i, j, keyOf(i), hi-lo, guardBytes)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/ir"
+)
+
+func sumModule() *ir.Module {
+	m := ir.NewModule("sum", 1, 1)
+	fb := m.NewFunc("sum", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}), ir.I32, ir.I32)
+	fb.LoopNDyn(1, 0, 0, 1, func() {
+		fb.Get(2).Get(1).I32Add().Set(2)
+	})
+	fb.Get(2)
+	fb.MustBuild()
+	m.MustExport("sum")
+	return m
+}
+
+func TestEngineRoundtrip(t *testing.T) {
+	for _, o := range []Options{
+		{},
+		{Segue: true},
+		{BoundsChecks: true},
+		{Segue: true, BoundsChecks: true},
+		{Segue: true, Vectorize: true},
+	} {
+		eng := NewEngine(Options{Segue: o.Segue, BoundsChecks: o.BoundsChecks, Vectorize: o.Vectorize, FSGSBASE: true})
+		cm, err := eng.Compile(sumModule())
+		if err != nil {
+			t.Fatalf("%+v: compile: %v", o, err)
+		}
+		sb, err := eng.Instantiate(cm, nil)
+		if err != nil {
+			t.Fatalf("%+v: instantiate: %v", o, err)
+		}
+		res, err := sb.Call("sum", 100)
+		if err != nil {
+			t.Fatalf("%+v: call: %v", o, err)
+		}
+		if res[0] != 4950 {
+			t.Fatalf("%+v: sum(100) = %d", o, res[0])
+		}
+		if sb.Stats().Insts == 0 || sb.SimulatedNanos() <= 0 {
+			t.Errorf("%+v: no stats accumulated", o)
+		}
+	}
+}
+
+func TestSegueIsFaster(t *testing.T) {
+	run := func(segue bool) float64 {
+		eng := NewEngine(Options{Segue: segue, FSGSBASE: true})
+		cm, _ := eng.Compile(memHeavyModule())
+		sb, _ := eng.Instantiate(cm, nil)
+		if _, err := sb.Call("run", 50000); err != nil {
+			t.Fatal(err)
+		}
+		return sb.SimulatedNanos()
+	}
+	guard, segue := run(false), run(true)
+	if segue >= guard {
+		t.Errorf("segue (%f ns) should beat classic SFI (%f ns) on memory-heavy code", segue, guard)
+	}
+}
+
+func memHeavyModule() *ir.Module {
+	m := ir.NewModule("memheavy", 2, 2)
+	fb := m.NewFunc("run", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}), ir.I32, ir.I32, ir.I32)
+	fb.LoopNDyn(1, 0, 0, 1, func() {
+		// arr[b + i*4 mod 64K] pattern
+		fb.Get(1).I32(1023).I32And().I32(2).I32Shl().Get(3).I32Add()
+		fb.I32Load(0)
+		fb.Get(2).I32Add().Set(2)
+		fb.Get(1).I32(511).I32And().I32(2).I32Shl().Get(3).I32Add()
+		fb.Get(2)
+		fb.I32Store(4096)
+	})
+	fb.Get(2)
+	fb.MustBuild()
+	m.MustExport("run")
+	return m
+}
+
+func TestHostBinding(t *testing.T) {
+	m := ir.NewModule("host", 1, 1)
+	h := m.AddImport("env.double", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}))
+	fb := m.NewFunc("f", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}))
+	fb.Get(0).Call(h)
+	fb.MustBuild()
+	m.MustExport("f")
+
+	eng := NewEngine(Options{Segue: true, FSGSBASE: true})
+	cm, err := eng.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := eng.Instantiate(cm, map[string]HostFunc{
+		"env.double": func(hc *HostCall) (uint64, error) { return hc.Args[0] * 2, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sb.Call("f", 21)
+	if err != nil || res[0] != 42 {
+		t.Fatalf("f(21) = %v, %v", res, err)
+	}
+}
+
+func TestPoolLifecycle(t *testing.T) {
+	eng := NewEngine(Options{Segue: true, FSGSBASE: true})
+	p, err := eng.NewPool(PoolOptions{
+		MaxMemoryBytes: 1 << 20,
+		GuardBytes:     8 << 20,
+		Slots:          32,
+		Keys:           15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stripes() < 2 {
+		t.Fatalf("expected striping, got %d stripes", p.Stripes())
+	}
+	cm, err := eng.Compile(sumModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var boxes []*Sandbox
+	for i := 0; i < 8; i++ {
+		sb, err := p.Instantiate(cm, nil)
+		if err != nil {
+			t.Fatalf("instantiate %d: %v", i, err)
+		}
+		res, err := sb.Call("sum", uint64(10*(i+1)))
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		want := uint64(10*(i+1)) * (uint64(10*(i+1)) - 1) / 2
+		if res[0] != want {
+			t.Fatalf("box %d: sum = %d, want %d", i, res[0], want)
+		}
+		boxes = append(boxes, sb)
+	}
+	if p.Available() != 32-8 {
+		t.Fatalf("available = %d", p.Available())
+	}
+	for _, sb := range boxes {
+		sb.Close()
+	}
+	if p.Available() != 32 {
+		t.Fatalf("after close, available = %d", p.Available())
+	}
+}
+
+func TestPoolExhaustionAndOversize(t *testing.T) {
+	eng := NewEngine(Options{Segue: true, FSGSBASE: true})
+	p, err := eng.NewPool(PoolOptions{MaxMemoryBytes: 128 << 10, GuardBytes: 1 << 20, Slots: 2, Keys: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, _ := eng.Compile(sumModule())
+	a, err := p.Instantiate(cm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Instantiate(cm, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Instantiate(cm, nil); err == nil {
+		t.Fatal("third instantiate should exhaust the 2-slot pool")
+	}
+	a.Close()
+	if _, err := p.Instantiate(cm, nil); err != nil {
+		t.Fatalf("after close: %v", err)
+	}
+
+	// A module whose max memory exceeds the slot size is rejected.
+	big := ir.NewModule("big", 1, 64) // max 4 MiB > 128 KiB slots
+	fb := big.NewFunc("f", ir.Sig(nil, nil))
+	fb.MustBuild()
+	big.MustExport("f")
+	bm, err := eng.Compile(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Instantiate(bm, nil); err == nil {
+		t.Fatal("oversized module accepted into pool")
+	}
+}
+
+// TestPoolIsolation: a sandbox in a striped pool cannot reach its
+// neighbor's memory even with a corrupted access — the trap is an MPK
+// fault, not silent corruption.
+func TestPoolIsolation(t *testing.T) {
+	m := ir.NewModule("oob", 1, 1)
+	fb := m.NewFunc("rd", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}))
+	fb.Get(0).I32Load(0)
+	fb.MustBuild()
+	m.MustExport("rd")
+
+	eng := NewEngine(Options{Segue: true, FSGSBASE: true})
+	p, err := eng.NewPool(PoolOptions{MaxMemoryBytes: 64 << 10, GuardBytes: 512 << 10, Slots: 16, Keys: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, _ := eng.Compile(m)
+	a, err := p.Instantiate(cm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Instantiate(cm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write a secret into b's memory, then have a read past its own
+	// memory at the distance of b's slot.
+	if err := b.MemWrite(16, []byte{0xAA, 0xBB, 0xCC, 0xDD}); err != nil {
+		t.Fatal(err)
+	}
+	delta := b.slot.Addr - a.slot.Addr
+	_, err = a.Call("rd", delta+16)
+	var trap *cpu.Trap
+	if !errors.As(err, &trap) {
+		t.Fatalf("cross-slot read returned %v, want a trap", err)
+	}
+	if trap.Kind != cpu.TrapPkey && trap.Kind != cpu.TrapPageFault {
+		t.Fatalf("trap kind = %v, want pkey or guard fault", trap.Kind)
+	}
+}

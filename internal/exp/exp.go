@@ -1,0 +1,195 @@
+// Package exp implements one function per table and figure in the
+// paper's evaluation (§6, §7): each runs the corresponding experiment
+// on the simulated machine and returns a report.Table with the same
+// rows/series the paper presents. cmd/benchtab, the root bench harness,
+// and the EXPERIMENTS.md generator all drive this registry.
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cpu"
+	"repro/internal/report"
+	"repro/internal/rt"
+	"repro/internal/sfi"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Measurement is one kernel execution's outcome.
+type Measurement struct {
+	Cycles       float64
+	Nanos        float64
+	Insts        uint64
+	BytesFetched uint64
+	CodeBytes    int
+	Checksum     uint64
+	Transitions  uint64
+}
+
+// MeasureKernel compiles and runs a kernel under cfg with the given
+// arguments, on a fresh instance.
+func MeasureKernel(k workloads.Kernel, cfg sfi.Config, args []uint64) (Measurement, error) {
+	native := cfg.Mode == sfi.ModeNative
+	mod, err := rt.CompileModule(k.Build(native && k.PtrSensitive), cfg)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("exp: %s/%v: %w", k.Name, cfg.Mode, err)
+	}
+	inst, err := rt.NewInstance(mod, rt.InstanceOptions{FSGSBASE: true})
+	if err != nil {
+		return Measurement{}, err
+	}
+	res, err := inst.Invoke(k.Entry, args...)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("exp: %s/%v: %w", k.Name, cfg.Mode, err)
+	}
+	m := Measurement{
+		Cycles:       inst.Mach.Stats.Cycles,
+		Nanos:        inst.Mach.Stats.Nanos(&inst.Mach.Cost),
+		Insts:        inst.Mach.Stats.Insts,
+		BytesFetched: inst.Mach.Stats.BytesFetched,
+		CodeBytes:    mod.Prog.CodeBytes(),
+		Transitions:  inst.Transitions,
+	}
+	if len(res) > 0 {
+		m.Checksum = res[0]
+	}
+	return m, nil
+}
+
+// normalizedSuite measures every kernel of a suite under each config,
+// normalizing cycles to the native baseline. Checksums are
+// cross-checked between configurations (except for pointer-sensitive
+// kernels, whose native build is a different program).
+func normalizedSuite(suite workloads.Suite, configs []sfi.Config, names []string) (*report.Table, []map[string]float64, error) {
+	return normalizedSuiteVs(suite, sfi.DefaultConfig(sfi.ModeNative), configs, names)
+}
+
+// normalizedSuiteVs is normalizedSuite with an explicit native baseline
+// configuration (the WAMR experiments use a vectorizing native
+// baseline, since clang vectorizes the same loops).
+func normalizedSuiteVs(suite workloads.Suite, baseCfg sfi.Config, configs []sfi.Config, names []string) (*report.Table, []map[string]float64, error) {
+	t := &report.Table{Headers: append([]string{"benchmark"}, names...)}
+	norms := make([]map[string]float64, len(configs))
+	for i := range norms {
+		norms[i] = map[string]float64{}
+	}
+	for _, k := range suite.Kernels {
+		base, err := MeasureKernel(k, baseCfg, k.Args)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := []string{k.Name}
+		for ci, cfg := range configs {
+			m, err := MeasureKernel(k, cfg, k.Args)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !k.PtrSensitive && m.Checksum != base.Checksum {
+				return nil, nil, fmt.Errorf("exp: %s under %s: checksum %#x != native %#x",
+					k.Name, names[ci], m.Checksum, base.Checksum)
+			}
+			n := m.Cycles / base.Cycles
+			norms[ci][k.Name] = n
+			row = append(row, report.Norm(n))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	// Geomean row.
+	row := []string{"geomean"}
+	for ci := range configs {
+		var vals []float64
+		for _, v := range norms[ci] {
+			vals = append(vals, v)
+		}
+		row = append(row, report.Norm(stats.Geomean(vals)))
+	}
+	t.Rows = append(t.Rows, row)
+	return t, norms, nil
+}
+
+func geomeanOf(m map[string]float64) float64 {
+	var vals []float64
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		vals = append(vals, m[k])
+	}
+	return stats.Geomean(vals)
+}
+
+// overheadEliminated reports what fraction of the baseline's overhead
+// versus native an optimization removes: (base - opt) / (base - 1).
+func overheadEliminated(base, opt float64) float64 {
+	if base <= 1 {
+		return 0
+	}
+	return (base - opt) / (base - 1)
+}
+
+// Experiment ties a paper artifact to its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() (*report.Table, error)
+}
+
+// All returns the experiment registry in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig1", "Segue code generation on the Figure 1 patterns", Fig1Patterns},
+		{"fig3", "SPEC CPU 2006 on Wasm2c, normalized to native (Figure 3)", Fig3SpecWasm2c},
+		{"boundsnote", "Segue under explicit bounds checks (§6.1 note)", BoundsCheckSegue},
+		{"table2", "Compiled binary sizes, SPEC CPU 2006 (Table 2)", Table2BinarySize},
+		{"firefox-font", "Firefox font rendering (§6.1)", FirefoxFont},
+		{"firefox-xml", "Firefox XML parsing (§6.1)", FirefoxXML},
+		{"fig4", "Sightglass on WAMR (Figure 4)", Fig4SightglassWAMR},
+		{"polybench", "PolybenchC on WAMR (§6.2)", PolybenchWAMR},
+		{"dhrystone", "Dhrystone on WAMR (§6.2)", DhrystoneWAMR},
+		{"fig5", "SPEC CPU 2017 on LFI, normalized to native (Figure 5)", Fig5SpecLFI},
+		{"transition", "Transition cost microbenchmark (§6.4.1)", TransitionCost},
+		{"scaling", "Slot-scaling microbenchmark (§6.4.2)", ScalingSlots},
+		{"fig6", "ColorGuard vs multiprocess throughput (Figure 6)", Fig6Throughput},
+		{"fig7a", "Context switches (Figure 7a)", Fig7aContextSwitches},
+		{"fig7b", "dTLB misses (Figure 7b)", Fig7bDTLBMisses},
+		{"table1", "Allocator-layout verification (Table 1 / §5.2)", Table1Verification},
+		{"mte", "ColorGuard on ARM MTE (§7)", MTEObservations},
+		{"ablation-segue", "Ablation: decomposing Segue's benefits", AblationSegueParts},
+		{"ablation-guards", "Ablation: guard geometry vs density", AblationGuardGeometry},
+		{"ablation-stripes", "Ablation: stripe count vs slot density", AblationStripeCount},
+		{"ablation-fsgsbase", "Ablation: FSGSBASE vs syscall segment writes", AblationFSGSBASE},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// instanceStats is a helper for experiments needing machine counters
+// beyond MeasureKernel's summary.
+func runOnInstance(k workloads.Kernel, cfg sfi.Config, opts rt.InstanceOptions, args []uint64) (*rt.Instance, error) {
+	mod, err := rt.CompileModule(k.Build(false), cfg)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := rt.NewInstance(mod, opts)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := inst.Invoke(k.Entry, args...); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+var _ = cpu.DefaultCostModel // keep cpu linked for cost constants used across files

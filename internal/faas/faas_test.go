@@ -1,0 +1,93 @@
+package faas
+
+import "testing"
+
+var testWorkload = Workload{Name: "test", ComputeNs: 28_000, Pages: 48}
+
+// TestFigure6Shape: the throughput gain of ColorGuard over n-process
+// scaling grows with n, peaking near the paper's ≈29% at 15 processes.
+func TestFigure6Shape(t *testing.T) {
+	prev := -5.0
+	for _, n := range []int{2, 4, 8, 12, 15} {
+		gain, _, _ := GainVsMultiprocess(testWorkload, n)
+		if gain < prev {
+			t.Errorf("gain at n=%d (%.2f%%) below gain at smaller n (%.2f%%): not monotone", n, gain, prev)
+		}
+		prev = gain
+	}
+	gain15, _, _ := GainVsMultiprocess(testWorkload, 15)
+	if gain15 < 20 || gain15 > 40 {
+		t.Errorf("gain at 15 processes = %.2f%%, want ≈29%%", gain15)
+	}
+}
+
+// TestFigure7aShape: context switches grow with process count while
+// ColorGuard's stay at the constant background rate.
+func TestFigure7aShape(t *testing.T) {
+	_, cg4, mp4 := GainVsMultiprocess(testWorkload, 4)
+	_, cg15, mp15 := GainVsMultiprocess(testWorkload, 15)
+	if cg4.CtxSwitches != cg15.CtxSwitches {
+		t.Errorf("ColorGuard switch count should be constant: %d vs %d", cg4.CtxSwitches, cg15.CtxSwitches)
+	}
+	if cg4.CtxSwitches == 0 {
+		t.Error("ColorGuard should still see background context switches")
+	}
+	if mp15.CtxSwitches <= 2*mp4.CtxSwitches {
+		t.Errorf("multiprocess switches should grow strongly with n: %d (4) vs %d (15)", mp4.CtxSwitches, mp15.CtxSwitches)
+	}
+	if mp4.CtxSwitches < 10*cg4.CtxSwitches {
+		t.Errorf("multiprocess switches (%d) should dwarf ColorGuard's (%d)", mp4.CtxSwitches, cg4.CtxSwitches)
+	}
+}
+
+// TestFigure7bShape: dTLB misses grow with process count faster than
+// under ColorGuard.
+func TestFigure7bShape(t *testing.T) {
+	_, cg, mp4 := GainVsMultiprocess(testWorkload, 4)
+	_, _, mp15 := GainVsMultiprocess(testWorkload, 15)
+	if mp4.DTLBMisses <= cg.DTLBMisses {
+		t.Errorf("4-process dTLB misses (%d) should exceed ColorGuard (%d)", mp4.DTLBMisses, cg.DTLBMisses)
+	}
+	if mp15.DTLBMisses <= mp4.DTLBMisses {
+		t.Errorf("dTLB misses should grow with process count: %d vs %d", mp4.DTLBMisses, mp15.DTLBMisses)
+	}
+}
+
+// TestTransitionAccounting: every completed request entered and left
+// the sandbox at least once.
+func TestTransitionAccounting(t *testing.T) {
+	r := Run(DefaultConfig(testWorkload, 1, true))
+	if r.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	if r.Transitions < 2*uint64(r.Completed) {
+		t.Errorf("transitions %d < 2x completed %d", r.Transitions, r.Completed)
+	}
+	if r.MaxConcurrent == 0 {
+		t.Error("no concurrency recorded")
+	}
+}
+
+// TestDeterminism: identical configs produce identical results.
+func TestDeterminism(t *testing.T) {
+	a := Run(DefaultConfig(testWorkload, 8, false))
+	b := Run(DefaultConfig(testWorkload, 8, false))
+	if a != b {
+		t.Errorf("non-deterministic simulation: %+v vs %+v", a, b)
+	}
+}
+
+// TestUnderLoad: when offered load is far below capacity, both
+// strategies complete everything and the gain vanishes.
+func TestUnderLoad(t *testing.T) {
+	cfgCG := DefaultConfig(testWorkload, 1, true)
+	cfgCG.ArrivalsPerEpoch = 4
+	cfgMP := DefaultConfig(testWorkload, 15, false)
+	cfgMP.ArrivalsPerEpoch = 4
+	cg := Run(cfgCG)
+	mp := Run(cfgMP)
+	diff := (cg.ThroughputRPS/mp.ThroughputRPS - 1) * 100
+	if diff > 3 || diff < -3 {
+		t.Errorf("under light load the strategies should tie; got %.2f%% difference", diff)
+	}
+}

@@ -1,0 +1,214 @@
+// Package lfi implements LFI's deployment model (§4.3): rather than a
+// Wasm compiler that emits instrumented code, LFI is an assembly-level
+// rewriter — it takes already-compiled native code and inserts SFI
+// instrumentation after the fact, using NaCl-style techniques for
+// loads, stores, and control flow.
+//
+// Rewrite consumes native-mode output from the SFI compiler (whose
+// memory operands use the implicit pointer base) and produces a
+// sandboxed program:
+//
+//   - data accesses are rebased onto the pinned heap-base register
+//     (classic scheme) or the %gs segment (WithSegue), with explicit
+//     truncation where the rewriter cannot prove the index is clean;
+//   - return paths are instrumented with the mask+rebase sequence that
+//     bounds backward control flow to the sandbox;
+//   - indirect calls get the same treatment on the target.
+//
+// The rewriter and the compiler's ModeLFI/ModeLFISegue produce
+// behaviourally identical sandboxes (differentially tested); the point
+// of this package is to reproduce the paper's binary-rewriting
+// deployment path, which needs no cooperation from the compiler.
+package lfi
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/x86"
+)
+
+// Options configures the rewriter.
+type Options struct {
+	// WithSegue uses segment-relative addressing for rewritten data
+	// accesses instead of the pinned base register — the paper's
+	// "Segue in LFI". The base register stays reserved either way,
+	// because control-flow instrumentation needs it (§4.3).
+	WithSegue bool
+}
+
+// HeapReg is the register LFI reserves for the sandbox base. Rewritten
+// code must not use it; native-mode output from internal/sfi treats it
+// as allocatable, so Rewrite verifies and rejects programs that use it.
+const HeapReg = x86.R15
+
+// ErrUsesHeapReg is returned when input code already uses the reserved
+// register.
+var ErrUsesHeapReg = fmt.Errorf("lfi: input code uses the reserved base register %s", HeapReg)
+
+// Rewrite instruments a compiled program in place-on-a-copy and
+// returns the sandboxed version.
+func Rewrite(p *cpu.Program, opts Options) (*cpu.Program, error) {
+	out := &cpu.Program{
+		Table:     append([]cpu.TableEntry(nil), p.Table...),
+		Hosts:     append([]cpu.HostFunc(nil), p.Hosts...),
+		HostNames: append([]string(nil), p.HostNames...),
+	}
+	for _, f := range p.Funcs {
+		nf, err := rewriteFunc(f, opts)
+		if err != nil {
+			return nil, fmt.Errorf("lfi: %s: %w", f.Name, err)
+		}
+		out.Funcs = append(out.Funcs, nf)
+	}
+	return out, nil
+}
+
+// usesReg reports whether the instruction reads or writes r anywhere.
+func usesReg(in x86.Inst, r x86.Reg) bool {
+	check := func(o x86.Operand) bool {
+		switch o.Kind {
+		case x86.KindReg:
+			return o.Reg == r
+		case x86.KindMem:
+			return o.Mem.Base == r || (o.Mem.HasIndex() && o.Mem.Index == r)
+		}
+		return false
+	}
+	return check(in.Dst) || check(in.Src)
+}
+
+// rewriteMem rebases one memory operand. Native-mode operands address
+// the sandbox through the implicit base (SegImplicit); the rewriter
+// makes the base explicit. The returned prefix instructions (possibly
+// nil) must execute immediately before the access — the explicit
+// truncation that the classic scheme needs where the native code
+// relied on 32-bit effective-address wrap (Addr32).
+func rewriteMem(m x86.Mem, opts Options) (x86.Mem, []x86.Inst, error) {
+	if m.Seg != x86.SegImplicit {
+		// Frame/stack accesses (rbp/rsp-based runtime state) are not
+		// sandbox memory; leave them.
+		return m, nil, nil
+	}
+	if opts.WithSegue {
+		m.Seg = x86.SegGS
+		// The address-size override bounds the effective address to
+		// 32 bits, standing in for the rewriter's masking.
+		m.Addr32 = true
+		return m, nil, nil
+	}
+	// Classic scheme: [base + index*scale + disp] must gain the heap
+	// base. x86 has one base slot, so an operand that already uses
+	// both base and index needs the index folded first — the rewriter
+	// inserts a LEA like NaCl's.
+	if m.Base != x86.RegNone && m.HasIndex() {
+		return m, nil, fmt.Errorf("needs pre-lowering (base+index operand)")
+	}
+	var prefix []x86.Inst
+	if m.Base != x86.RegNone {
+		if m.Addr32 {
+			// The native form wrapped at 32 bits; the classic form
+			// computes a 64-bit EA, so truncate the index explicitly
+			// (Figure 1 pattern 1's mov ebx, ebx).
+			prefix = append(prefix, x86.Inst{Op: x86.MOV, W: x86.W32, Dst: x86.R(x86.R11), Src: x86.R(m.Base)})
+			m.Base = x86.R11
+		}
+		m.Index, m.Scale = m.Base, 1
+	}
+	m.Seg = x86.SegNone
+	m.Base = HeapReg
+	m.Addr32 = false
+	return m, prefix, nil
+}
+
+// rewriteFunc instruments one function.
+func rewriteFunc(f *cpu.Func, opts Options) (*cpu.Func, error) {
+	type pending struct {
+		insts []x86.Inst
+		from  int // original index this expansion replaces
+	}
+	var expanded []pending
+	for i, in := range f.Insts {
+		if usesReg(in, HeapReg) {
+			return nil, ErrUsesHeapReg
+		}
+		seq := []x86.Inst{}
+		switch {
+		case in.Op == x86.RET:
+			// Backward-edge instrumentation: mask the return address
+			// to 32 bits and rebase it (NaCl-style), then return.
+			seq = append(seq,
+				x86.Inst{Op: x86.MOV, W: x86.W64, Dst: x86.R(x86.R11), Src: x86.M(x86.Mem{Base: x86.RSP})},
+				x86.Inst{Op: x86.MOV, W: x86.W32, Dst: x86.R(x86.R11), Src: x86.R(x86.R11)},
+				x86.Inst{Op: x86.ADD, W: x86.W64, Dst: x86.R(x86.R11), Src: x86.R(HeapReg)},
+				in,
+			)
+		case in.Op == x86.CALLREG:
+			// Forward-edge: mask and rebase the target (modeled on a
+			// scratch copy, as in internal/sfi).
+			seq = append(seq,
+				x86.Inst{Op: x86.MOV, W: x86.W32, Dst: x86.R(x86.R11), Src: in.Dst},
+				x86.Inst{Op: x86.ADD, W: x86.W64, Dst: x86.R(x86.R11), Src: x86.R(HeapReg)},
+				in,
+			)
+		case in.HasMem():
+			var err error
+			var prefix []x86.Inst
+			if in.Dst.Kind == x86.KindMem {
+				in.Dst.Mem, prefix, err = rewriteMem(in.Dst.Mem, opts)
+			} else {
+				in.Src.Mem, prefix, err = rewriteMem(in.Src.Mem, opts)
+			}
+			if err != nil {
+				// Fold base+index with an inserted LEA (32-bit: the
+				// fold also truncates), then rebase.
+				mem := in.Dst.Mem
+				dstIsMem := in.Dst.Kind == x86.KindMem
+				if !dstIsMem {
+					mem = in.Src.Mem
+				}
+				lea := x86.Inst{Op: x86.LEA, W: x86.W32, Dst: x86.R(x86.R11),
+					Src: x86.M(x86.Mem{Base: mem.Base, Index: mem.Index, Scale: mem.Scale, Disp: mem.Disp})}
+				nm := x86.Mem{Base: HeapReg, Index: x86.R11, Scale: 1}
+				if dstIsMem {
+					in.Dst.Mem = nm
+				} else {
+					in.Src.Mem = nm
+				}
+				seq = append(seq, lea, in)
+			} else {
+				seq = append(seq, prefix...)
+				seq = append(seq, in)
+			}
+		default:
+			seq = append(seq, in)
+		}
+		expanded = append(expanded, pending{insts: seq, from: i})
+	}
+
+	// Rebuild with a label remap.
+	remap := make([]int, len(f.Insts)+1)
+	var insts []x86.Inst
+	for _, p := range expanded {
+		remap[p.from] = len(insts)
+		insts = append(insts, p.insts...)
+	}
+	remap[len(f.Insts)] = len(insts)
+	for k := range insts {
+		in := &insts[k]
+		switch in.Op {
+		case x86.JMP, x86.JCC:
+			in.Dst.Label = remap[in.Dst.Label]
+		case x86.JTAB:
+			in.Src.Label = remap[in.Src.Label]
+			tg := append([]int(nil), in.Targets...)
+			for j, t := range tg {
+				tg[j] = remap[t]
+			}
+			in.Targets = tg
+		}
+	}
+	nf := &cpu.Func{Name: f.Name, Insts: insts}
+	nf.Encode()
+	return nf, nil
+}

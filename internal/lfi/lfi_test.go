@@ -1,0 +1,170 @@
+package lfi_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/ir"
+	"repro/internal/lfi"
+	"repro/internal/rt"
+	"repro/internal/sfi"
+	"repro/internal/workloads"
+	"repro/internal/x86"
+)
+
+// rewriteKernel compiles a kernel natively (with the -ffixed-r15
+// contract), rewrites it, and wraps it for the runtime under the given
+// register-setup mode.
+func rewriteKernel(t *testing.T, k workloads.Kernel, opts lfi.Options) *rt.Module {
+	t.Helper()
+	cfg := sfi.DefaultConfig(sfi.ModeNative)
+	cfg.ReserveR15 = true
+	prog, meta, err := sfi.Compile(k.Build(false), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sandboxed, err := lfi.Rewrite(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runCfg := sfi.DefaultConfig(sfi.ModeLFI)
+	if opts.WithSegue {
+		runCfg = sfi.DefaultConfig(sfi.ModeLFISegue)
+	}
+	return &rt.Module{IR: k.Build(false), Prog: sandboxed, Meta: meta, Cfg: runCfg}
+}
+
+// TestRewriteDifferential: rewritten binaries compute exactly what the
+// interpreter (and the compiler's LFI modes) compute.
+func TestRewriteDifferential(t *testing.T) {
+	suite := workloads.Sightglass()
+	for _, name := range []string{"fib2", "seqhash", "heapsort", "gimli", "base64", "switch2", "strchr"} {
+		k, err := suite.Find(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		interp, _ := ir.NewInterp(k.Build(false), nil)
+		interp.StepLimit = 200_000_000
+		want, err := interp.Invoke(k.Entry, k.TestArgs...)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, segue := range []bool{false, true} {
+			mod := rewriteKernel(t, k, lfi.Options{WithSegue: segue})
+			inst, err := rt.NewInstance(mod, rt.InstanceOptions{FSGSBASE: true})
+			if err != nil {
+				t.Fatalf("%s segue=%v: %v", name, segue, err)
+			}
+			got, err := inst.Invoke(k.Entry, k.TestArgs...)
+			if err != nil {
+				t.Fatalf("%s segue=%v: %v", name, segue, err)
+			}
+			if got[0] != want[0] {
+				t.Fatalf("%s segue=%v: %#x, want %#x", name, segue, got[0], want[0])
+			}
+		}
+	}
+}
+
+// TestRewriteIsolation: rewritten code cannot escape the sandbox; an
+// out-of-range access traps in the guard region.
+func TestRewriteIsolation(t *testing.T) {
+	m := ir.NewModule("oob", 1, 1)
+	fb := m.NewFunc("rd", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}))
+	fb.Get(0).I32Load(0)
+	fb.MustBuild()
+	m.MustExport("rd")
+
+	cfg := sfi.DefaultConfig(sfi.ModeNative)
+	cfg.ReserveR15 = true
+	prog, meta, err := sfi.Compile(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sandboxed, err := lfi.Rewrite(prog, lfi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := &rt.Module{IR: m, Prog: sandboxed, Meta: meta, Cfg: sfi.DefaultConfig(sfi.ModeLFI)}
+	inst, err := rt.NewInstance(mod, rt.InstanceOptions{FSGSBASE: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Invoke("rd", 100); err != nil {
+		t.Fatalf("in-bounds: %v", err)
+	}
+	_, err = inst.Invoke("rd", 0xFFFFFF00)
+	var trap *cpu.Trap
+	if !errors.As(err, &trap) || trap.Kind != cpu.TrapPageFault {
+		t.Fatalf("oob err = %v, want guard fault", err)
+	}
+}
+
+// TestRewriteInstrumentsReturns: every function gains the mask+rebase
+// sequence before RET.
+func TestRewriteInstrumentsReturns(t *testing.T) {
+	k, _ := workloads.Sightglass().Find("fib2")
+	cfg := sfi.DefaultConfig(sfi.ModeNative)
+	cfg.ReserveR15 = true
+	prog, _, err := sfi.Compile(k.Build(false), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(prog.Funcs[0].Insts)
+	sandboxed, err := lfi.Rewrite(prog, lfi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := len(sandboxed.Funcs[0].Insts)
+	if after < before+3 {
+		t.Errorf("expected at least 3 instrumentation instructions, got %d -> %d", before, after)
+	}
+}
+
+// TestRewriteRejectsReservedReg: input that already uses R15 is
+// refused — the compilation contract is checked, not assumed.
+func TestRewriteRejectsReservedReg(t *testing.T) {
+	prog := &cpu.Program{Funcs: []*cpu.Func{{
+		Name: "bad",
+		Insts: []x86.Inst{
+			{Op: x86.MOV, W: x86.W64, Dst: x86.R(x86.R15), Src: x86.Imm(1)},
+			{Op: x86.RET},
+		},
+	}}}
+	prog.Funcs[0].Encode()
+	if _, err := lfi.Rewrite(prog, lfi.Options{}); !errors.Is(err, lfi.ErrUsesHeapReg) {
+		t.Fatalf("err = %v, want ErrUsesHeapReg", err)
+	}
+}
+
+// TestRewriteMatchesCompilerMode: the rewriter and ModeLFI produce the
+// same checksums on a branchy kernel (they are different
+// implementations of the same scheme).
+func TestRewriteMatchesCompilerMode(t *testing.T) {
+	k, _ := workloads.Spec2006().Find("458_sjeng")
+	modRewrite := rewriteKernel(t, k, lfi.Options{WithSegue: true})
+	instA, err := rt.NewInstance(modRewrite, rt.InstanceOptions{FSGSBASE: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := instA.Invoke(k.Entry, k.TestArgs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modCompile, err := rt.CompileModule(k.Build(false), sfi.DefaultConfig(sfi.ModeLFISegue))
+	if err != nil {
+		t.Fatal(err)
+	}
+	instB, err := rt.NewInstance(modCompile, rt.InstanceOptions{FSGSBASE: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := instB.Invoke(k.Entry, k.TestArgs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Fatalf("rewriter %#x != compiler mode %#x", a[0], b[0])
+	}
+}

@@ -1,0 +1,56 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		ID:      "t1",
+		Title:   "sample",
+		Headers: []string{"name", "value"},
+		Notes:   []string{"a note"},
+	}
+	t.AddRow("alpha", 1.5)
+	t.AddRow("a-much-longer-name", 42)
+	t.AddRow("pct", Pct(0.25))
+	return t
+}
+
+func TestText(t *testing.T) {
+	out := sample().Text()
+	for _, want := range []string{"== t1: sample ==", "alpha", "1.500", "a-much-longer-name", "42", "25.0%", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: every data row starts with a padded name column.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 6 {
+		t.Fatalf("unexpected line count: %d", len(lines))
+	}
+	hdr := strings.Index(lines[1], "value")
+	row := strings.Index(lines[3], "1.500")
+	if hdr < 0 || row < 0 || hdr != row {
+		t.Errorf("value column misaligned: header at %d, row at %d", hdr, row)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	out := sample().Markdown()
+	for _, want := range []string{"### t1 — sample", "| name | value |", "| --- | --- |", "| alpha | 1.500 |", "*a note*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.123) != "12.3%" {
+		t.Errorf("Pct = %q", Pct(0.123))
+	}
+	if Norm(1.0) != "1.000" {
+		t.Errorf("Norm = %q", Norm(1.0))
+	}
+}

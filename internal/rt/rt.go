@@ -1,0 +1,333 @@
+// Package rt is the Wasm runtime over the simulated machine: it lays
+// out instance memory (linear memory, guard regions, stack, context),
+// instantiates compiled modules, performs transitions into and out of
+// sandboxes (setting the segment base for Segue, PKRU for ColorGuard,
+// and charging the §6.4.1 transition costs), and provides host-call
+// plumbing including the memory.grow/copy/fill builtins.
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cpu"
+	"repro/internal/ir"
+	"repro/internal/mem"
+	"repro/internal/sfi"
+	"repro/internal/x86"
+)
+
+// Module is a compiled module ready for instantiation.
+type Module struct {
+	IR   *ir.Module
+	Prog *cpu.Program
+	Meta *sfi.Meta
+	Cfg  sfi.Config
+}
+
+// CompileModule validates and compiles an IR module under cfg.
+func CompileModule(m *ir.Module, cfg sfi.Config) (*Module, error) {
+	prog, meta, err := sfi.Compile(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Module{IR: m, Prog: prog, Meta: meta, Cfg: cfg}, nil
+}
+
+// HostCall carries the arguments of a host-function invocation.
+type HostCall struct {
+	Inst *Instance
+	Args []uint64
+}
+
+// MemRead copies n bytes of linear memory at addr, failing on
+// out-of-bounds like a trapping access would.
+func (hc *HostCall) MemRead(addr uint32, n uint32) ([]byte, error) {
+	if uint64(addr)+uint64(n) > hc.Inst.MemBytes {
+		return nil, &cpu.Trap{Kind: cpu.TrapPageFault, Addr: hc.Inst.HeapBase + uint64(addr)}
+	}
+	buf := make([]byte, n)
+	hc.Inst.AS.ReadBytes(hc.Inst.HeapBase+uint64(addr), buf)
+	return buf, nil
+}
+
+// MemWrite copies data into linear memory at addr.
+func (hc *HostCall) MemWrite(addr uint32, data []byte) error {
+	if uint64(addr)+uint64(len(data)) > hc.Inst.MemBytes {
+		return &cpu.Trap{Kind: cpu.TrapPageFault, Addr: hc.Inst.HeapBase + uint64(addr)}
+	}
+	hc.Inst.AS.WriteBytes(hc.Inst.HeapBase+uint64(addr), data)
+	return nil
+}
+
+// HostFunc implements an imported function at the runtime level.
+type HostFunc func(hc *HostCall) (uint64, error)
+
+// InstanceOptions tunes instantiation.
+type InstanceOptions struct {
+	// Hosts binds import names to implementations.
+	Hosts map[string]HostFunc
+
+	// Pkey, when non-zero, colors the linear memory with the given MPK
+	// key and restricts PKRU to it while the instance runs
+	// (ColorGuard).
+	Pkey uint8
+
+	// FSGSBASE selects user-level segment-base writes (post-IvyBridge);
+	// when false, transitions pay the arch_prctl system-call cost, the
+	// fallback Firefox needs on older CPUs (§4.1).
+	FSGSBASE bool
+
+	// GuardBytes is the guard-region size reserved after the maximum
+	// linear memory; 0 selects the classic 4 GiB.
+	GuardBytes uint64
+
+	// PreGuardBytes reserves an additional guard region BEFORE the
+	// linear memory — required by the signed-offset compilation scheme
+	// (sfi.Config.SignedOffset), whose corrupt indices go negative.
+	PreGuardBytes uint64
+
+	// Stack size for the machine stack; 0 selects 256 KiB.
+	StackBytes uint64
+
+	// AS, when non-nil, places the instance into an existing address
+	// space (pooling); HeapBase must then be set to the instance's
+	// slot and the caller is responsible for guard geometry.
+	AS       *mem.AS
+	HeapBase uint64
+}
+
+// Transition cost model (§6.4.1): beyond the instructions the sandbox
+// itself executes, each transition does stack switching, ABI
+// adjustment, and exception-handler setup. The paper measures 30.34 ns
+// per transition without ColorGuard at 2.2 GHz.
+const (
+	transitionBaseCycles = 66.7  // ≈30.34 ns at 2.2 GHz
+	syscallCycles        = 330.0 // arch_prctl fallback for %gs writes
+)
+
+// Instance is an instantiated module bound to machine state.
+type Instance struct {
+	Mod  *Module
+	AS   *mem.AS
+	Mach *cpu.Machine
+
+	HeapBase uint64
+	MemBytes uint64 // current linear-memory size
+	MaxBytes uint64
+	CtxBase  uint64
+	StackTop uint64
+
+	Pkey     uint8
+	FSGSBASE bool
+
+	// Transitions counts sandbox entries (Invoke and host-call
+	// returns re-enter; each entry has a matching exit).
+	Transitions uint64
+
+	hosts map[string]HostFunc
+}
+
+// NewInstance lays out and initializes an instance of mod.
+func NewInstance(mod *Module, opts InstanceOptions) (*Instance, error) {
+	inst := &Instance{
+		Mod:      mod,
+		Pkey:     opts.Pkey,
+		FSGSBASE: opts.FSGSBASE,
+		hosts:    opts.Hosts,
+	}
+	guard := opts.GuardBytes
+	if guard == 0 {
+		guard = 4 << 30
+	}
+	stackBytes := opts.StackBytes
+	if stackBytes == 0 {
+		stackBytes = 256 << 10
+	}
+
+	m := mod.IR
+	inst.MemBytes = uint64(m.MemMin) * ir.PageSize
+	inst.MaxBytes = uint64(m.MemMax) * ir.PageSize
+
+	if opts.AS != nil {
+		// Pooling placement: the pool owns heap/guard geometry.
+		inst.AS = opts.AS
+		inst.HeapBase = opts.HeapBase
+	} else {
+		inst.AS = mem.NewAS(47)
+		// Reserve [pre-guard][max memory + guard] as PROT_NONE, then
+		// open the initial memory. The reservation is generous so
+		// folded 33-bit effective addresses always land inside it.
+		pre := pageUp(opts.PreGuardBytes)
+		resv := inst.MaxBytes + guard
+		if resv < inst.MemBytes+ir.PageSize {
+			resv = inst.MemBytes + ir.PageSize
+		}
+		resv = pageUp(resv) + pre
+		base, err := inst.AS.MmapAnywhere(resv, mem.ProtNone)
+		if err != nil {
+			return nil, fmt.Errorf("rt: reserving linear memory: %w", err)
+		}
+		inst.HeapBase = base + pre
+	}
+	if inst.MemBytes > 0 {
+		if err := inst.AS.Mprotect(inst.HeapBase, pageUp(inst.MemBytes), mem.ProtRead|mem.ProtWrite); err != nil {
+			return nil, fmt.Errorf("rt: opening linear memory: %w", err)
+		}
+	}
+	if inst.Pkey != 0 {
+		if err := inst.AS.PkeyMprotect(inst.HeapBase, pageUp(inst.MemBytes), mem.ProtRead|mem.ProtWrite, inst.Pkey); err != nil {
+			return nil, fmt.Errorf("rt: coloring linear memory: %w", err)
+		}
+	}
+
+	// Runtime areas: machine stack and context block (key 0).
+	sb, err := inst.AS.MmapAnywhere(pageUp(stackBytes), mem.ProtRead|mem.ProtWrite)
+	if err != nil {
+		return nil, fmt.Errorf("rt: allocating stack: %w", err)
+	}
+	inst.StackTop = sb + pageUp(stackBytes)
+	ctx, err := inst.AS.MmapAnywhere(pageUp(sfi.CtxSize(m)), mem.ProtRead|mem.ProtWrite)
+	if err != nil {
+		return nil, fmt.Errorf("rt: allocating context: %w", err)
+	}
+	inst.CtxBase = ctx
+
+	// Initialize context fields and globals.
+	inst.AS.Store(ctx+sfi.CtxHeapBaseOff, 8, inst.HeapBase)
+	inst.AS.Store(ctx+sfi.CtxMemLimitOff, 8, inst.MemBytes)
+	inst.AS.Store(ctx+sfi.CtxMemPagesOff, 8, inst.MemBytes/ir.PageSize)
+	for i, g := range m.Globals {
+		v := uint64(g.Init)
+		if g.Type == ir.F64 {
+			v = math.Float64bits(g.InitF)
+		}
+		inst.AS.Store(ctx+sfi.CtxGlobalsOff+8*uint64(i), 8, v)
+	}
+	// Data segments.
+	for _, seg := range m.Data {
+		inst.AS.WriteBytes(inst.HeapBase+uint64(seg.Offset), seg.Bytes)
+	}
+
+	inst.Mach = cpu.NewMachine(inst.AS, mod.Prog)
+	inst.bindHosts()
+	return inst, nil
+}
+
+func pageUp(n uint64) uint64 {
+	return (n + mem.PageSize - 1) &^ uint64(mem.PageSize-1)
+}
+
+// transitionIn charges the cost of entering the sandbox and sets up
+// the machine registers the compiled code expects.
+func (inst *Instance) transitionIn() {
+	m := inst.Mach
+	m.Stats.Cycles += transitionBaseCycles
+	cfg := inst.Mod.Cfg
+
+	// Segment base (Segue modes) — user instruction or syscall.
+	if cfg.Mode == sfi.ModeSegue || cfg.Mode == sfi.ModeBoundsSegue || cfg.Mode == sfi.ModeLFISegue {
+		if inst.FSGSBASE {
+			m.Stats.Cycles += m.Cost.WRGSBASE
+		} else {
+			m.Stats.Cycles += syscallCycles
+		}
+		m.GSBase = inst.HeapBase
+	} else {
+		// Guard/bounds/native: the base travels in a register (or the
+		// implicit native base); a plain move.
+		m.Stats.Cycles += m.Cost.ALU
+		m.GSBase = inst.HeapBase // SegImplicit (native) reads this
+	}
+	// R15 carries the base whenever the mode pins it (including the
+	// loads-only Segue tuning, whose stores still use it). It must NOT
+	// be touched otherwise: under full Segue it is a live allocatable
+	// register, and Resume re-enters mid-execution.
+	if cfg.PinsR15() {
+		m.Regs[x86.R15] = inst.HeapBase
+	}
+	m.Regs[x86.R14] = inst.CtxBase
+
+	// ColorGuard: restrict PKRU to the instance's color.
+	if inst.Pkey != 0 {
+		m.Stats.Cycles += m.Cost.WRPKRU
+		m.PKRU = mem.PkruAllowOnly(inst.Pkey)
+	}
+	inst.Transitions++
+}
+
+// transitionOut charges the cost of leaving the sandbox and lifts the
+// PKRU restriction.
+func (inst *Instance) transitionOut() {
+	m := inst.Mach
+	m.Stats.Cycles += transitionBaseCycles
+	if inst.Pkey != 0 {
+		m.Stats.Cycles += m.Cost.WRPKRU
+		m.PKRU = mem.PkruAllowAll
+	}
+}
+
+// ErrNoExport is returned by Invoke for unknown export names.
+var ErrNoExport = errors.New("rt: no such export")
+
+// Invoke calls an exported function. Results are masked to their
+// declared types.
+func (inst *Instance) Invoke(name string, args ...uint64) ([]uint64, error) {
+	fnIdx, ok := inst.Mod.Meta.Exports[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoExport, name)
+	}
+	irIdx := inst.Mod.IR.Exports[name]
+	sig, err := inst.Mod.IR.TypeOf(irIdx)
+	if err != nil {
+		return nil, err
+	}
+	if len(args) != len(sig.Params) {
+		return nil, fmt.Errorf("rt: %q takes %d args, got %d", name, len(sig.Params), len(args))
+	}
+
+	m := inst.Mach
+	m.Regs[x86.RSP] = inst.StackTop
+	inst.transitionIn()
+
+	// Place arguments per the internal ABI.
+	ipos, fpos := 0, 0
+	var intArgs []uint64
+	for i, p := range sig.Params {
+		if p == ir.F64 {
+			m.XmmLo[fpos] = args[i]
+			fpos++
+		} else {
+			intArgs = append(intArgs, args[i])
+			_ = ipos
+		}
+	}
+	m.Start(fnIdx, intArgs...)
+	err = m.Run()
+	inst.transitionOut()
+	if err != nil {
+		return nil, err
+	}
+	if len(sig.Results) == 0 {
+		return nil, nil
+	}
+	var res uint64
+	switch sig.Results[0] {
+	case ir.F64:
+		res = m.XmmLo[0]
+	case ir.I32:
+		res = uint64(uint32(m.Result()))
+	default:
+		res = m.Result()
+	}
+	return []uint64{res}, nil
+}
+
+// Resume continues execution after an epoch interrupt.
+func (inst *Instance) Resume() error {
+	inst.transitionIn()
+	err := inst.Mach.Run()
+	inst.transitionOut()
+	return err
+}

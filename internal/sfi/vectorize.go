@@ -1,0 +1,130 @@
+package sfi
+
+import "repro/internal/x86"
+
+// vectorize is the WAMR-style post-codegen vectorization pass (§4.2).
+// It fuses two shapes into 128-bit SSE operations:
+//
+//	copy pair:  mov rA,[S] ; mov [D],rA ; mov rB,[S+8] ; mov [D+8],rB
+//	            -> movdqu xmm14,[S] ; movdqu [D],xmm14
+//	store pair: mov [D],imm ; mov [D+8],imm   (same immediate)
+//	            -> movdqu [D],xmm14           (xmm14 preloaded per run)
+//
+// The matcher roots at STORE instructions and rejects segment-prefixed
+// stores — the platform-neutral pattern only understands plain
+// base+index+disp operands. This is precisely why enabling full Segue
+// regresses memmove- and sieve-style code on WAMR while the loads-only
+// tuning does not (§6.2, Figure 4): with Segue on stores the pass stops
+// firing, with Segue on loads only the stores still match (and the pass
+// simply carries the load's prefix into the fused movdqu).
+func vectorize(insts []x86.Inst, cfg Config) []x86.Inst {
+	// Collect branch targets; fused regions must not contain one.
+	targets := map[int]bool{}
+	for _, in := range insts {
+		switch in.Op {
+		case x86.JMP, x86.JCC:
+			targets[in.Dst.Label] = true
+		case x86.JTAB:
+			targets[in.Src.Label] = true
+			for _, t := range in.Targets {
+				targets[t] = true
+			}
+		}
+	}
+
+	type repl struct {
+		start, n int // replace insts[start:start+n]
+		with     []x86.Inst
+	}
+	var repls []repl
+
+	storeOK := func(m x86.Mem) bool { return m.Seg == x86.SegNone || m.Seg == x86.SegImplicit }
+	sameBase := func(a, b x86.Mem, delta int32) bool {
+		return a.Seg == b.Seg && a.Base == b.Base && a.Index == b.Index &&
+			a.Scale == b.Scale && a.Addr32 == b.Addr32 && b.Disp == a.Disp+delta
+	}
+
+	for i := 0; i+3 < len(insts); i++ {
+		// No branch may land inside the fused region.
+		blocked := false
+		for k := i + 1; k <= i+3; k++ {
+			if targets[k] {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			continue
+		}
+		a, b, c, d := insts[i], insts[i+1], insts[i+2], insts[i+3]
+		// Copy-pair shape.
+		if a.Op == x86.MOV && a.W == x86.W64 && a.Dst.Kind == x86.KindReg && a.Src.Kind == x86.KindMem &&
+			b.Op == x86.MOV && b.W == x86.W64 && b.Dst.Kind == x86.KindMem && b.Src.Kind == x86.KindReg &&
+			b.Src.Reg == a.Dst.Reg && storeOK(b.Dst.Mem) &&
+			c.Op == x86.MOV && c.W == x86.W64 && c.Dst.Kind == x86.KindReg && c.Src.Kind == x86.KindMem &&
+			sameBase(a.Src.Mem, c.Src.Mem, 8) &&
+			d.Op == x86.MOV && d.W == x86.W64 && d.Dst.Kind == x86.KindMem && d.Src.Kind == x86.KindReg &&
+			d.Src.Reg == c.Dst.Reg && sameBase(b.Dst.Mem, d.Dst.Mem, 8) {
+			repls = append(repls, repl{start: i, n: 4, with: []x86.Inst{
+				{Op: x86.MOVDQU, W: x86.W128, Dst: x86.X(14), Src: x86.M(a.Src.Mem)},
+				{Op: x86.MOVDQU, W: x86.W128, Dst: x86.M(b.Dst.Mem), Src: x86.X(14)},
+			}})
+			i += 3
+			continue
+		}
+		// Store-pair shape: two adjacent zero stores become a single
+		// 128-bit store (the zeroed xmm14 costs one PXOR; the win is
+		// halving the store traffic, as WAMR's pass does for
+		// memset-like loops).
+		if a.Op == x86.MOV && a.W == x86.W64 && a.Dst.Kind == x86.KindMem && a.Src.Kind == x86.KindImm &&
+			a.Src.Imm == 0 && storeOK(a.Dst.Mem) &&
+			b.Op == x86.MOV && b.W == x86.W64 && b.Dst.Kind == x86.KindMem && b.Src.Kind == x86.KindImm &&
+			b.Src.Imm == 0 && sameBase(a.Dst.Mem, b.Dst.Mem, 8) &&
+			!targets[i+1] {
+			repls = append(repls, repl{start: i, n: 2, with: []x86.Inst{
+				{Op: x86.PXOR, W: x86.W128, Dst: x86.X(14), Src: x86.X(14)},
+				{Op: x86.MOVDQU, W: x86.W128, Dst: x86.M(a.Dst.Mem), Src: x86.X(14)},
+			}})
+			i++
+			continue
+		}
+	}
+	if len(repls) == 0 {
+		return insts
+	}
+
+	// Rebuild with an index remap so branch targets stay correct.
+	remap := make([]int, len(insts)+1)
+	var out []x86.Inst
+	ri := 0
+	for i := 0; i <= len(insts); i++ {
+		remap[i] = len(out)
+		if i == len(insts) {
+			break
+		}
+		if ri < len(repls) && repls[ri].start == i {
+			out = append(out, repls[ri].with...)
+			// Map interior indices to the replacement start.
+			for k := 1; k < repls[ri].n; k++ {
+				remap[i+k] = remap[i]
+			}
+			i += repls[ri].n - 1
+			ri++
+			continue
+		}
+		out = append(out, insts[i])
+	}
+	for k := range out {
+		in := &out[k]
+		switch in.Op {
+		case x86.JMP, x86.JCC:
+			in.Dst.Label = remap[in.Dst.Label]
+		case x86.JTAB:
+			in.Src.Label = remap[in.Src.Label]
+			for j, t := range in.Targets {
+				in.Targets[j] = remap[t]
+			}
+		}
+	}
+	return out
+}

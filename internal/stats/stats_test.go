@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{1, 1, 1}); g != 1 {
+		t.Errorf("geomean of ones = %g", g)
+	}
+	if g := Geomean([]float64{2, 8}); !almost(g, 4, 1e-12) {
+		t.Errorf("geomean(2,8) = %g", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Errorf("geomean(nil) = %g", g)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("geomean of non-positive should panic")
+		}
+	}()
+	Geomean([]float64{1, 0})
+}
+
+func TestMeanStddevMedian(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("mean = %g", m)
+	}
+	if s := Stddev(xs); !almost(s, 2.1380899, 1e-6) {
+		t.Errorf("stddev = %g", s)
+	}
+	if m := Median(xs); m != 4.5 {
+		t.Errorf("median = %g", m)
+	}
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd median = %g", m)
+	}
+	if Stddev([]float64{1}) != 0 || Mean(nil) != 0 || Median(nil) != 0 {
+		t.Error("degenerate inputs should return 0")
+	}
+	// Median must not mutate its argument.
+	xs2 := []float64{3, 1, 2}
+	Median(xs2)
+	if xs2[0] != 3 || xs2[1] != 1 || xs2[2] != 2 {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("min/max = %g/%g", Min(xs), Max(xs))
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("nearby seeds too correlated: %d/100 equal", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(7)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(5)
+	}
+	if m := sum / n; !almost(m, 5, 0.1) {
+		t.Errorf("Exp(5) sample mean = %g", m)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	for _, mean := range []float64{3, 30, 500} { // Knuth and normal paths
+		r := NewRNG(11)
+		const n = 100000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(r.Poisson(mean))
+		}
+		got := sum / n
+		if !almost(got, mean, mean*0.05+0.2) {
+			t.Errorf("Poisson(%g) sample mean = %g", mean, got)
+		}
+	}
+	if NewRNG(1).Poisson(0) != 0 {
+		t.Error("Poisson(0) should be 0")
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}

@@ -1,0 +1,192 @@
+// Package verify reproduces the paper's §5.2 verification effort as
+// executable checking: where the authors used the Flux refinement-type
+// checker (plus a Z3 proof for bitwise arithmetic) to verify Wasmtime's
+// slot-layout computation against the Table 1 invariants under an
+// adversarial caller model, this package drives a layout computation
+// with adversarial inputs — boundary values, unaligned sizes,
+// overflow-inducing geometries, and random fuzzing — and checks every
+// produced layout against the invariants.
+//
+// Run against pool.ComputeLayoutLegacy it finds the saturating-addition
+// bug and the four missing preconditions (Table 1, invariants 7–10);
+// run against pool.ComputeLayout it finds nothing.
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/pool"
+	"repro/internal/stats"
+)
+
+// LayoutFunc is the computation under verification.
+type LayoutFunc func(pool.Config) (pool.Layout, error)
+
+// Finding is one discovered violation: the input that produced an
+// invariant-violating layout and the violation itself.
+type Finding struct {
+	Input     pool.Config
+	Layout    pool.Layout
+	Violation string
+}
+
+// String renders the finding.
+func (f Finding) String() string {
+	return fmt.Sprintf("config %+v => %s", f.Input, f.Violation)
+}
+
+// Report summarizes a verification run.
+type Report struct {
+	Checked  int // inputs whose layout was produced and checked
+	Rejected int // inputs the computation refused (fine: defensive)
+	Findings []Finding
+}
+
+// Sound reports whether no violations were found.
+func (r *Report) Sound() bool { return len(r.Findings) == 0 }
+
+// String renders the report.
+func (r *Report) String() string {
+	s := fmt.Sprintf("verify: %d layouts checked, %d inputs rejected, %d violations",
+		r.Checked, r.Rejected, len(r.Findings))
+	for i, f := range r.Findings {
+		if i >= 5 {
+			s += fmt.Sprintf("\n  ... and %d more", len(r.Findings)-5)
+			break
+		}
+		s += "\n  " + f.String()
+	}
+	return s
+}
+
+// interestingSizes are the boundary values the adversarial caller
+// model probes: zero, page boundaries ±1, Wasm-page boundaries ±1,
+// powers of two near overflow, and typical real configurations.
+var interestingSizes = []uint64{
+	0, 1, 4095, 4096, 4097,
+	65535, 65536, 65537,
+	1 << 20, 1<<20 + 4096, 1<<20 + 1,
+	1 << 30, 4 << 30, 6 << 30, 8 << 30,
+	408 << 20,
+	1 << 40, 1 << 45, 1 << 47,
+	1 << 62, 1<<63 - 1, 1 << 63, ^uint64(0) - 4095, ^uint64(0),
+}
+
+var interestingCounts = []int{0, 1, 2, 15, 16, 100, 1 << 20, 1 << 32, 1 << 40}
+
+var interestingKeys = []int{0, 1, 2, 15, 16, 100}
+
+// check runs one input through fn, validating any produced layout and
+// applying invariant 10 (budget fit) from the input side.
+func check(fn LayoutFunc, cfg pool.Config, r *Report) {
+	l, err := fn(cfg)
+	if err != nil {
+		r.Rejected++
+		return
+	}
+	r.Checked++
+	if verr := l.Validate(); verr != nil {
+		r.Findings = append(r.Findings, Finding{Input: cfg, Layout: l, Violation: verr.Error()})
+		return
+	}
+	if cfg.TotalBytes != 0 && l.TotalSlabBytes > cfg.TotalBytes {
+		r.Findings = append(r.Findings, Finding{Input: cfg, Layout: l,
+			Violation: fmt.Sprintf("invariant 10 violated: total %d exceeds budget %d", l.TotalSlabBytes, cfg.TotalBytes)})
+	}
+}
+
+// Exhaustive sweeps the cross product of the boundary values — the
+// deterministic part of the adversarial caller model.
+func Exhaustive(fn LayoutFunc) *Report {
+	r := &Report{}
+	for _, maxMem := range interestingSizes {
+		for _, guard := range []uint64{0, 4096, 1 << 20, 2 << 30, 4 << 30, 1 << 62} {
+			for _, n := range interestingCounts {
+				for _, keys := range interestingKeys {
+					check(fn, pool.Config{
+						NumSlots:       n,
+						MaxMemoryBytes: maxMem,
+						GuardBytes:     guard,
+						Keys:           keys,
+					}, r)
+				}
+			}
+		}
+	}
+	// Expected-slot-bytes probes (invariant 7) and budget probes
+	// (invariant 10).
+	for _, exp := range interestingSizes {
+		check(fn, pool.Config{NumSlots: 4, MaxMemoryBytes: 1 << 20, GuardBytes: 1 << 20, ExpectedSlotBytes: exp, Keys: 15}, r)
+	}
+	for _, budget := range interestingSizes {
+		check(fn, pool.Config{NumSlots: 0, MaxMemoryBytes: 64 << 10, GuardBytes: 1 << 20, TotalBytes: budget, Keys: 15}, r)
+		check(fn, pool.Config{NumSlots: 100, MaxMemoryBytes: 64 << 10, GuardBytes: 1 << 20, TotalBytes: budget, Keys: 15}, r)
+	}
+	return r
+}
+
+// Fuzz drives fn with n pseudo-random configurations drawn to stress
+// alignment and overflow edges.
+func Fuzz(fn LayoutFunc, n int, seed uint64) *Report {
+	r := &Report{}
+	rng := stats.NewRNG(seed)
+	size := func() uint64 {
+		switch rng.Intn(4) {
+		case 0:
+			return rng.Uint64() % (1 << 24) // small, arbitrary alignment
+		case 1:
+			return (rng.Uint64() % (1 << 18)) << 16 // wasm-page multiples
+		case 2:
+			return uint64(1) << (40 + rng.Intn(24)) // huge powers of two
+		default:
+			return rng.Uint64() // anything
+		}
+	}
+	for i := 0; i < n; i++ {
+		cfg := pool.Config{
+			NumSlots:       rng.Intn(1 << 22),
+			MaxMemoryBytes: size(),
+			GuardBytes:     size(),
+			Keys:           rng.Intn(20),
+		}
+		if rng.Intn(3) == 0 {
+			cfg.ExpectedSlotBytes = size()
+		}
+		if rng.Intn(3) == 0 {
+			cfg.NumSlots = 0
+			cfg.TotalBytes = size()
+		}
+		check(fn, cfg, r)
+	}
+	return r
+}
+
+// Verify runs both the exhaustive sweep and the fuzzer, merging the
+// reports — the full §5.2 analogue.
+func Verify(fn LayoutFunc, fuzzN int, seed uint64) *Report {
+	r := Exhaustive(fn)
+	fz := Fuzz(fn, fuzzN, seed)
+	r.Checked += fz.Checked
+	r.Rejected += fz.Rejected
+	r.Findings = append(r.Findings, fz.Findings...)
+	return r
+}
+
+// Classify buckets findings by which invariant they violate, for
+// reporting (the paper reports one arithmetic bug and four missing
+// preconditions).
+func Classify(findings []Finding) map[string]int {
+	out := map[string]int{}
+	for _, f := range findings {
+		key := "other"
+		for _, inv := range []string{"invariant 10", "invariant 1", "invariant 2", "invariant 3",
+			"invariant 4", "invariant 5", "invariant 6", "invariant 7", "invariant 8", "invariant 9"} {
+			if len(f.Violation) >= len(inv) && f.Violation[:len(inv)] == inv {
+				key = inv
+				break
+			}
+		}
+		out[key]++
+	}
+	return out
+}

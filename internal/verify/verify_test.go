@@ -1,0 +1,86 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pool"
+)
+
+// TestLegacyHasFindings is the §5.2 result: the pre-verification layout
+// computation violates invariants under adversarial inputs — including
+// the saturating-arithmetic break of invariant 1 and the missing
+// alignment preconditions (7/8/9).
+func TestLegacyHasFindings(t *testing.T) {
+	r := Verify(pool.ComputeLayoutLegacy, 3000, 42)
+	if r.Sound() {
+		t.Fatal("legacy computation verified clean; it should not")
+	}
+	classes := Classify(r.Findings)
+	t.Logf("legacy: %d checked, %d rejected, findings by invariant: %v", r.Checked, r.Rejected, classes)
+	if classes["invariant 1"] == 0 {
+		t.Error("the saturating-add bug (invariant 1) was not found")
+	}
+	missing := 0
+	for _, inv := range []string{"invariant 7", "invariant 8", "invariant 9"} {
+		if classes[inv] > 0 {
+			missing++
+		}
+	}
+	if missing == 0 {
+		t.Error("none of the missing alignment preconditions (7-9) were found")
+	}
+}
+
+// TestFixedIsSound: the post-verification computation survives the same
+// adversarial model with zero findings.
+func TestFixedIsSound(t *testing.T) {
+	r := Verify(pool.ComputeLayout, 5000, 42)
+	if !r.Sound() {
+		for i, f := range r.Findings {
+			if i > 4 {
+				break
+			}
+			t.Errorf("finding: %s", f)
+		}
+		t.Fatalf("fixed computation has %d findings", len(r.Findings))
+	}
+	if r.Checked == 0 {
+		t.Fatal("verification accepted nothing; the check harness is broken")
+	}
+	t.Logf("fixed: %d layouts checked, %d adversarial inputs rejected", r.Checked, r.Rejected)
+}
+
+// TestFixedIsUseful guards against the trivial fix of rejecting
+// everything: common real geometries must still be accepted.
+func TestFixedIsUseful(t *testing.T) {
+	good := []pool.Config{
+		{NumSlots: 1000, MaxMemoryBytes: 4 << 30, GuardBytes: 4 << 30},
+		{NumSlots: 1000, MaxMemoryBytes: 4 << 30, GuardBytes: 2 << 30, PreGuardBytes: 2 << 30},
+		{NumSlots: 100, MaxMemoryBytes: 408 << 20, GuardBytes: 6<<30 - 408<<20, Keys: 15},
+		{NumSlots: 16, MaxMemoryBytes: 1 << 30, GuardBytes: 7 << 30, Keys: 8},
+	}
+	for _, cfg := range good {
+		if _, err := pool.ComputeLayout(cfg); err != nil {
+			t.Errorf("rejected a sane config %+v: %v", cfg, err)
+		}
+	}
+}
+
+// TestReportString exercises the human-readable rendering.
+func TestReportString(t *testing.T) {
+	r := Verify(pool.ComputeLayoutLegacy, 500, 7)
+	s := r.String()
+	if !strings.Contains(s, "violations") {
+		t.Errorf("report = %q", s)
+	}
+}
+
+// TestFuzzDeterminism: the same seed explores the same inputs.
+func TestFuzzDeterminism(t *testing.T) {
+	a := Fuzz(pool.ComputeLayoutLegacy, 1000, 99)
+	b := Fuzz(pool.ComputeLayoutLegacy, 1000, 99)
+	if a.Checked != b.Checked || a.Rejected != b.Rejected || len(a.Findings) != len(b.Findings) {
+		t.Errorf("non-deterministic fuzzing: %+v vs %+v", a, b)
+	}
+}

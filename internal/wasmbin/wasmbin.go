@@ -1,0 +1,540 @@
+// Package wasmbin serializes IR modules to a compact binary format and
+// back — the module-interchange substrate (engines persist and ship
+// compiled-module inputs as bytes). The format follows Wasm's design:
+// a magic/version header, LEB128 integers, and tagged sections, though
+// it encodes this repository's IR rather than standard Wasm opcodes.
+package wasmbin
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/ir"
+)
+
+// Magic and version identify the format.
+var Magic = [4]byte{0x00, 'i', 'r', 'm'}
+
+// Version is the current format version.
+const Version = 1
+
+// Section ids.
+const (
+	secTypes   = 1
+	secImports = 2
+	secFuncs   = 3
+	secGlobals = 4
+	secMemory  = 5
+	secTable   = 6
+	secData    = 7
+	secExports = 8
+	secName    = 9
+)
+
+// Errors.
+var (
+	ErrBadMagic   = errors.New("wasmbin: bad magic")
+	ErrBadVersion = errors.New("wasmbin: unsupported version")
+	ErrTruncated  = errors.New("wasmbin: truncated input")
+)
+
+// --- LEB128 ---
+
+func putUvarint(w *bytes.Buffer, v uint64) {
+	var tmp [10]byte
+	n := binary.PutUvarint(tmp[:], v)
+	w.Write(tmp[:n])
+}
+
+func putVarint(w *bytes.Buffer, v int64) {
+	var tmp [10]byte
+	n := binary.PutVarint(tmp[:], v)
+	w.Write(tmp[:n])
+}
+
+type reader struct {
+	r *bytes.Reader
+}
+
+func (r reader) uvarint() (uint64, error) {
+	v, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return 0, ErrTruncated
+	}
+	return v, nil
+}
+
+func (r reader) varint() (int64, error) {
+	v, err := binary.ReadVarint(r.r)
+	if err != nil {
+		return 0, ErrTruncated
+	}
+	return v, nil
+}
+
+func (r reader) bytes(n uint64) ([]byte, error) {
+	if n > uint64(r.r.Len()) {
+		return nil, ErrTruncated
+	}
+	out := make([]byte, n)
+	if _, err := io.ReadFull(r.r, out); err != nil {
+		return nil, ErrTruncated
+	}
+	return out, nil
+}
+
+func (r reader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.bytes(n)
+	return string(b), err
+}
+
+func putStr(w *bytes.Buffer, s string) {
+	putUvarint(w, uint64(len(s)))
+	w.WriteString(s)
+}
+
+func putSig(w *bytes.Buffer, t ir.FuncType) {
+	putUvarint(w, uint64(len(t.Params)))
+	for _, p := range t.Params {
+		w.WriteByte(byte(p))
+	}
+	putUvarint(w, uint64(len(t.Results)))
+	for _, p := range t.Results {
+		w.WriteByte(byte(p))
+	}
+}
+
+func (r reader) sig() (ir.FuncType, error) {
+	var t ir.FuncType
+	np, err := r.uvarint()
+	if err != nil {
+		return t, err
+	}
+	for i := uint64(0); i < np; i++ {
+		b, err := r.r.ReadByte()
+		if err != nil {
+			return t, ErrTruncated
+		}
+		t.Params = append(t.Params, ir.ValType(b))
+	}
+	nr, err := r.uvarint()
+	if err != nil {
+		return t, err
+	}
+	for i := uint64(0); i < nr; i++ {
+		b, err := r.r.ReadByte()
+		if err != nil {
+			return t, ErrTruncated
+		}
+		t.Results = append(t.Results, ir.ValType(b))
+	}
+	return t, nil
+}
+
+// Encode serializes a module.
+func Encode(m *ir.Module) []byte {
+	var out bytes.Buffer
+	out.Write(Magic[:])
+	out.WriteByte(Version)
+
+	section := func(id byte, body func(*bytes.Buffer)) {
+		var b bytes.Buffer
+		body(&b)
+		out.WriteByte(id)
+		putUvarint(&out, uint64(b.Len()))
+		out.Write(b.Bytes())
+	}
+
+	section(secName, func(b *bytes.Buffer) { putStr(b, m.Name) })
+	section(secTypes, func(b *bytes.Buffer) {
+		sigs := m.SigTable()
+		putUvarint(b, uint64(len(sigs)))
+		for _, s := range sigs {
+			putSig(b, s)
+		}
+	})
+	section(secImports, func(b *bytes.Buffer) {
+		putUvarint(b, uint64(len(m.Imports)))
+		for _, imp := range m.Imports {
+			putStr(b, imp.Name)
+			putSig(b, imp.Type)
+		}
+	})
+	section(secMemory, func(b *bytes.Buffer) {
+		putUvarint(b, uint64(m.MemMin))
+		putUvarint(b, uint64(m.MemMax))
+	})
+	section(secGlobals, func(b *bytes.Buffer) {
+		putUvarint(b, uint64(len(m.Globals)))
+		for _, g := range m.Globals {
+			b.WriteByte(byte(g.Type))
+			if g.Mutable {
+				b.WriteByte(1)
+			} else {
+				b.WriteByte(0)
+			}
+			if g.Type == ir.F64 {
+				putUvarint(b, math.Float64bits(g.InitF))
+			} else {
+				putVarint(b, g.Init)
+			}
+		}
+	})
+	section(secFuncs, func(b *bytes.Buffer) {
+		putUvarint(b, uint64(len(m.Funcs)))
+		for _, f := range m.Funcs {
+			putStr(b, f.Name)
+			putSig(b, f.Type)
+			putUvarint(b, uint64(len(f.Locals)))
+			for _, l := range f.Locals {
+				b.WriteByte(byte(l))
+			}
+			putUvarint(b, uint64(len(f.Body)))
+			for _, in := range f.Body {
+				encodeInst(b, in)
+			}
+		}
+	})
+	section(secTable, func(b *bytes.Buffer) {
+		putUvarint(b, uint64(len(m.Table)))
+		for _, e := range m.Table {
+			putUvarint(b, uint64(e))
+		}
+	})
+	section(secData, func(b *bytes.Buffer) {
+		putUvarint(b, uint64(len(m.Data)))
+		for _, d := range m.Data {
+			putUvarint(b, uint64(d.Offset))
+			putUvarint(b, uint64(len(d.Bytes)))
+			b.Write(d.Bytes)
+		}
+	})
+	section(secExports, func(b *bytes.Buffer) {
+		putUvarint(b, uint64(len(m.Exports)))
+		for name := range m.Exports {
+			putStr(b, name)
+		}
+	})
+	return out.Bytes()
+}
+
+// Instruction flag bits selecting which immediates follow the opcode.
+const (
+	fImm = 1 << iota
+	fFimm
+	fOffset
+	fTargets
+	fBlock
+)
+
+func encodeInst(b *bytes.Buffer, in ir.Inst) {
+	var flags byte
+	if in.Imm != 0 {
+		flags |= fImm
+	}
+	if in.Fimm != 0 {
+		flags |= fFimm
+	}
+	if in.Offset != 0 {
+		flags |= fOffset
+	}
+	if len(in.Targets) > 0 {
+		flags |= fTargets
+	}
+	if in.BlockType != 0 {
+		flags |= fBlock
+	}
+	b.WriteByte(byte(in.Op))
+	b.WriteByte(flags)
+	if flags&fImm != 0 {
+		putVarint(b, in.Imm)
+	}
+	if flags&fFimm != 0 {
+		putUvarint(b, math.Float64bits(in.Fimm))
+	}
+	if flags&fOffset != 0 {
+		putUvarint(b, uint64(in.Offset))
+	}
+	if flags&fTargets != 0 {
+		putUvarint(b, uint64(len(in.Targets)))
+		for _, t := range in.Targets {
+			putUvarint(b, uint64(t))
+		}
+	}
+	if flags&fBlock != 0 {
+		putVarint(b, int64(in.BlockType))
+	}
+}
+
+func (r reader) inst() (ir.Inst, error) {
+	var in ir.Inst
+	op, err := r.r.ReadByte()
+	if err != nil {
+		return in, ErrTruncated
+	}
+	in.Op = ir.Op(op)
+	flags, err := r.r.ReadByte()
+	if err != nil {
+		return in, ErrTruncated
+	}
+	if flags&fImm != 0 {
+		if in.Imm, err = r.varint(); err != nil {
+			return in, err
+		}
+	}
+	if flags&fFimm != 0 {
+		bits, err := r.uvarint()
+		if err != nil {
+			return in, err
+		}
+		in.Fimm = math.Float64frombits(bits)
+	}
+	if flags&fOffset != 0 {
+		off, err := r.uvarint()
+		if err != nil {
+			return in, err
+		}
+		in.Offset = uint32(off)
+	}
+	if flags&fTargets != 0 {
+		n, err := r.uvarint()
+		if err != nil {
+			return in, err
+		}
+		if n > 1<<20 {
+			return in, fmt.Errorf("wasmbin: unreasonable br_table size %d", n)
+		}
+		for i := uint64(0); i < n; i++ {
+			t, err := r.uvarint()
+			if err != nil {
+				return in, err
+			}
+			in.Targets = append(in.Targets, uint32(t))
+		}
+	}
+	if flags&fBlock != 0 {
+		bt, err := r.varint()
+		if err != nil {
+			return in, err
+		}
+		in.BlockType = int8(bt)
+	}
+	return in, nil
+}
+
+// Decode parses a serialized module. The result is validated before
+// being returned, so a decoded module is always safe to compile.
+func Decode(data []byte) (*ir.Module, error) {
+	if len(data) < 5 {
+		return nil, ErrTruncated
+	}
+	if !bytes.Equal(data[:4], Magic[:]) {
+		return nil, ErrBadMagic
+	}
+	if data[4] != Version {
+		return nil, ErrBadVersion
+	}
+	m := ir.NewModule("", 0, 0)
+	r := reader{r: bytes.NewReader(data[5:])}
+	for r.r.Len() > 0 {
+		id, err := r.r.ReadByte()
+		if err != nil {
+			return nil, ErrTruncated
+		}
+		size, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		body, err := r.bytes(size)
+		if err != nil {
+			return nil, err
+		}
+		br := reader{r: bytes.NewReader(body)}
+		if err := decodeSection(m, id, br); err != nil {
+			return nil, fmt.Errorf("wasmbin: section %d: %w", id, err)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("wasmbin: decoded module invalid: %w", err)
+	}
+	return m, nil
+}
+
+func decodeSection(m *ir.Module, id byte, r reader) error {
+	switch id {
+	case secName:
+		name, err := r.str()
+		if err != nil {
+			return err
+		}
+		m.Name = name
+	case secTypes:
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		for i := uint64(0); i < n; i++ {
+			sig, err := r.sig()
+			if err != nil {
+				return err
+			}
+			// Interning in order reconstructs the same indices the
+			// encoded call_indirect instructions refer to.
+			m.InternType(sig)
+		}
+	case secImports:
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		for i := uint64(0); i < n; i++ {
+			name, err := r.str()
+			if err != nil {
+				return err
+			}
+			sig, err := r.sig()
+			if err != nil {
+				return err
+			}
+			m.AddImport(name, sig)
+		}
+	case secMemory:
+		mn, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		mx, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		m.MemMin, m.MemMax = uint32(mn), uint32(mx)
+	case secGlobals:
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		for i := uint64(0); i < n; i++ {
+			tb, err := r.r.ReadByte()
+			if err != nil {
+				return ErrTruncated
+			}
+			mb, err := r.r.ReadByte()
+			if err != nil {
+				return ErrTruncated
+			}
+			t := ir.ValType(tb)
+			if t == ir.F64 {
+				bits, err := r.uvarint()
+				if err != nil {
+					return err
+				}
+				m.Globals = append(m.Globals, ir.Global{Type: t, Mutable: mb == 1, InitF: math.Float64frombits(bits)})
+			} else {
+				v, err := r.varint()
+				if err != nil {
+					return err
+				}
+				m.Globals = append(m.Globals, ir.Global{Type: t, Mutable: mb == 1, Init: v})
+			}
+		}
+	case secFuncs:
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		for i := uint64(0); i < n; i++ {
+			name, err := r.str()
+			if err != nil {
+				return err
+			}
+			sig, err := r.sig()
+			if err != nil {
+				return err
+			}
+			nl, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			var locals []ir.ValType
+			for j := uint64(0); j < nl; j++ {
+				b, err := r.r.ReadByte()
+				if err != nil {
+					return ErrTruncated
+				}
+				locals = append(locals, ir.ValType(b))
+			}
+			fb := m.NewFunc(name, sig, locals...)
+			nb, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			if nb > 1<<24 {
+				return fmt.Errorf("unreasonable body size %d", nb)
+			}
+			for j := uint64(0); j < nb; j++ {
+				in, err := r.inst()
+				if err != nil {
+					return err
+				}
+				fb.Emit(in)
+			}
+		}
+	case secTable:
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		for i := uint64(0); i < n; i++ {
+			v, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			m.Table = append(m.Table, uint32(v))
+		}
+	case secData:
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		for i := uint64(0); i < n; i++ {
+			off, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			sz, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			b, err := r.bytes(sz)
+			if err != nil {
+				return err
+			}
+			m.AddData(uint32(off), b)
+		}
+	case secExports:
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		for i := uint64(0); i < n; i++ {
+			name, err := r.str()
+			if err != nil {
+				return err
+			}
+			if err := m.Export(name); err != nil {
+				return err
+			}
+		}
+	default:
+		// Unknown sections are skipped (forward compatibility).
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package wasmbin
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/rt"
+	"repro/internal/sfi"
+	"repro/internal/workloads"
+)
+
+// modulesEquivalent runs both modules and compares results.
+func modulesEquivalent(t *testing.T, a, b *ir.Module, entry string, args ...uint64) {
+	t.Helper()
+	ia, err := ir.NewInterp(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := ir.NewInterp(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ia.StepLimit, ib.StepLimit = 200_000_000, 200_000_000
+	ra, ea := ia.Invoke(entry, args...)
+	rb, eb := ib.Invoke(entry, args...)
+	if (ea == nil) != (eb == nil) {
+		t.Fatalf("error mismatch: %v vs %v", ea, eb)
+	}
+	if ea == nil && len(ra) > 0 && ra[0] != rb[0] {
+		t.Fatalf("results differ: %#x vs %#x", ra[0], rb[0])
+	}
+	for i := range ia.Mem {
+		if ia.Mem[i] != ib.Mem[i] {
+			t.Fatalf("memory[%d] differs after run", i)
+		}
+	}
+}
+
+func TestRoundTripKernels(t *testing.T) {
+	for _, suite := range []workloads.Suite{workloads.Sightglass(), workloads.Firefox(), workloads.FaaS()} {
+		for _, k := range suite.Kernels {
+			k := k
+			t.Run(suite.Name+"/"+k.Name, func(t *testing.T) {
+				orig := k.Build(false)
+				data := Encode(orig)
+				dec, err := Decode(data)
+				if err != nil {
+					t.Fatalf("decode: %v", err)
+				}
+				if dec.Name != orig.Name || dec.MemMin != orig.MemMin || dec.MemMax != orig.MemMax {
+					t.Fatalf("header mismatch: %q %d/%d vs %q %d/%d",
+						dec.Name, dec.MemMin, dec.MemMax, orig.Name, orig.MemMin, orig.MemMax)
+				}
+				if len(dec.Funcs) != len(orig.Funcs) || len(dec.Exports) != len(orig.Exports) {
+					t.Fatal("function/export counts differ")
+				}
+				modulesEquivalent(t, k.Build(false), dec, k.Entry, k.TestArgs...)
+			})
+		}
+	}
+}
+
+func TestRoundTripCompiles(t *testing.T) {
+	// A decoded module must compile and run identically on the machine.
+	k, err := workloads.Sightglass().Find("heapsort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(Encode(k.Build(false)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := rt.CompileModule(dec, sfi.DefaultConfig(sfi.ModeSegue))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := rt.NewInstance(mod, rt.InstanceOptions{FSGSBASE: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := inst.Invoke(k.Entry, k.TestArgs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interp, _ := ir.NewInterp(k.Build(false), nil)
+	want, _ := interp.Invoke(k.Entry, k.TestArgs...)
+	if got[0] != want[0] {
+		t.Fatalf("decoded module computes %#x, want %#x", got[0], want[0])
+	}
+}
+
+func TestRoundTripIndirectAndImports(t *testing.T) {
+	m := ir.NewModule("indirect", 1, 1)
+	h := m.AddImport("env.log", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}))
+	sq := m.NewFunc("sq", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}))
+	sq.Get(0).Get(0).I32Mul()
+	sq.MustBuild()
+	sqi, _ := m.FuncIndex("sq")
+	m.Table = []uint32{sqi, ir.NullFunc}
+	f := m.NewFunc("f", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}))
+	f.Get(0).I32(0).CallIndirect(ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}))
+	f.Get(0).Call(h).I32Add()
+	f.MustBuild()
+	m.MustExport("f")
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	dec, err := Decode(Encode(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := map[string]ir.HostFunc{
+		"env.log": func(mem []byte, args []uint64) (uint64, error) { return args[0] + 5, nil },
+	}
+	ia, _ := ir.NewInterp(m, hosts)
+	ib, _ := ir.NewInterp(dec, hosts)
+	ra, _ := ia.Invoke("f", 6)
+	rb, err := ib.Invoke("f", 6)
+	if err != nil || ra[0] != rb[0] {
+		t.Fatalf("decoded indirect module: %v vs %v (%v)", rb, ra, err)
+	}
+	if len(dec.Table) != 2 || dec.Table[1] != ir.NullFunc {
+		t.Fatalf("table mismatch: %v", dec.Table)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short input: %v", err)
+	}
+	if _, err := Decode([]byte("nope!")); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+	bad := append([]byte{}, Magic[:]...)
+	bad = append(bad, 99)
+	if _, err := Decode(bad); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version: %v", err)
+	}
+	// Corrupting the body must never yield an unvalidated module.
+	k, _ := workloads.Sightglass().Find("fib2")
+	good := Encode(k.Build(false))
+	for i := 5; i < len(good); i += 7 {
+		corrupt := append([]byte{}, good...)
+		corrupt[i] ^= 0x55
+		if m, err := Decode(corrupt); err == nil {
+			// A decode that still succeeds must at least validate.
+			if !m.Validated() {
+				t.Fatalf("corruption at %d produced an unvalidated module", i)
+			}
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	k, _ := workloads.Sightglass().Find("gimli")
+	a := Encode(k.Build(false))
+	b := Encode(k.Build(false))
+	if !bytes.Equal(a, b) {
+		t.Error("encoding is not deterministic")
+	}
+}

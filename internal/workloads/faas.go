@@ -1,0 +1,239 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// FaaS returns the three edge-platform request handlers of §6.4.3:
+// HTML templating, hash-based load balancing, and regular-expression
+// filtering of URLs (the DFA is compiled host-side and shipped as a
+// data segment, the way edge platforms precompile filters).
+func FaaS() Suite {
+	return Suite{Name: "faas", Kernels: []Kernel{
+		{Name: "html-templating", Build: buildFaasTemplate, Entry: "run", Args: []uint64{300}, TestArgs: []uint64{3}},
+		{Name: "hash-load-balance", Build: buildFaasHash, Entry: "run", Args: []uint64{4000}, TestArgs: []uint64{40}},
+		{Name: "regex-filtering", Build: buildFaasRegex, Entry: "run", Args: []uint64{2000}, TestArgs: []uint64{30}},
+	}}
+}
+
+const (
+	faasURLBase   = 0 // 256 URLs x 64 bytes
+	faasURLCount  = 256
+	faasURLStride = 64
+)
+
+// faasURLs generates the URL corpus: a mix of API paths that do and do
+// not match the filter pattern.
+func faasURLs() []byte {
+	out := make([]byte, faasURLCount*faasURLStride)
+	for i := 0; i < faasURLCount; i++ {
+		var s string
+		switch i % 4 {
+		case 0:
+			s = fmt.Sprintf("/api/v%d/users/%d/profile", i%3+1, i*37)
+		case 1:
+			s = fmt.Sprintf("/static/assets/img_%d.png", i)
+		case 2:
+			s = fmt.Sprintf("/api/v%d/orders/%d", i%5, i*13)
+		default:
+			s = fmt.Sprintf("/health?probe=%d", i)
+		}
+		copy(out[i*faasURLStride:], s)
+	}
+	return out
+}
+
+// buildFaasTemplate renders an HTML template with $N placeholders
+// substituted from a value table.
+func buildFaasTemplate(bool) *ir.Module {
+	const (
+		tmplBase  = 0
+		valsBase  = 4096 // 10 values x 32 bytes, NUL padded
+		outBase   = 8192
+		tmplLimit = 4000
+	)
+	m := ir.NewModule("html-templating", 2, 2)
+	tmpl := []byte("<html><head><title>$0</title></head><body><h1>Hello $1!</h1><p>Your plan: $2, region $3.</p><ul>")
+	for i := 0; i < 12; i++ {
+		tmpl = append(tmpl, []byte(fmt.Sprintf("<li>item %d: $%d</li>", i, i%10))...)
+	}
+	tmpl = append(tmpl, []byte("</ul><footer>$9</footer></body></html>")...)
+	m.AddData(tmplBase, tmpl)
+	vals := make([]byte, 10*32)
+	for i := 0; i < 10; i++ {
+		copy(vals[i*32:], fmt.Sprintf("value-%d-xyz", i*7))
+	}
+	m.AddData(valsBase, vals)
+
+	const (
+		n   = 0
+		i   = 1 // template cursor
+		o   = 2 // output cursor
+		it  = 3
+		c   = 4 // current byte
+		v   = 5 // value index / cursor
+		acc = 6
+	)
+	fb := m.NewFunc("run", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}),
+		ir.I32, ir.I32, ir.I32, ir.I32, ir.I32, ir.I32)
+	tl := int32(len(tmpl))
+	fb.LoopNDyn(it, n, 0, 1, func() {
+		fb.I32(0).Set(i)
+		fb.I32(0).Set(o)
+		fb.While(func() { fb.Get(i).I32(tl).I32LtS() }, func() {
+			fb.Get(i).I32Load8U(tmplBase).Set(c)
+			fb.Get(c).I32('$').I32Eq()
+			fb.If()
+			// substitute value[digit]
+			fb.Get(i).I32Load8U(tmplBase + 1).I32('0').I32Sub().I32(5).I32Shl().Set(v)
+			fb.While(func() {
+				// value bytes until NUL
+				fb.Get(v).I32Load8U(valsBase).I32(0).I32Ne()
+			}, func() {
+				fb.Get(o).Get(v).I32Load8U(valsBase).I32Store8(outBase)
+				fb.Get(o).I32(1).I32Add().Set(o)
+				fb.Get(v).I32(1).I32Add().Set(v)
+			})
+			fb.Get(i).I32(2).I32Add().Set(i)
+			fb.Else()
+			fb.Get(o).Get(c).I32Store8(outBase)
+			fb.Get(o).I32(1).I32Add().Set(o)
+			fb.Get(i).I32(1).I32Add().Set(i)
+			fb.End()
+		})
+		// fold output length and a sample byte into the checksum
+		fb.Get(acc).Get(o).I32Add()
+		fb.Get(o).I32(1).I32ShrU().I32Load8U(outBase).I32Add()
+		fb.Set(acc)
+	})
+	fb.Get(acc)
+	fb.MustBuild()
+	m.MustExport("run")
+	return mustValidate(m)
+}
+
+// buildFaasHash FNV-hashes request URLs and tallies per-backend
+// histogram counts.
+func buildFaasHash(bool) *ir.Module {
+	const histBase = 32768
+	m := ir.NewModule("hash-load-balance", 1, 1)
+	m.AddData(faasURLBase, faasURLs())
+	const (
+		n   = 0
+		it  = 1
+		i   = 2
+		h   = 3
+		c   = 4
+		acc = 5
+	)
+	fb := m.NewFunc("run", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}),
+		ir.I32, ir.I32, ir.I32, ir.I32, ir.I32)
+	fb.LoopNDyn(it, n, 0, 1, func() {
+		// url = urls[it % 256]
+		fb.Get(it).I32(faasURLCount - 1).I32And().I32(6).I32Shl().Set(i)
+		fb.I32(u32c(2166136261)).Set(h)
+		fb.While(func() {
+			fb.Get(i).I32Load8U(faasURLBase).Tee(c).I32(0).I32Ne()
+		}, func() {
+			fb.Get(h).Get(c).I32Xor().I32(16777619).I32Mul().Set(h)
+			fb.Get(i).I32(1).I32Add().Set(i)
+		})
+		// histogram[h % 8]++
+		fb.Get(h).I32(7).I32And().I32(2).I32Shl()
+		fb.Get(h).I32(7).I32And().I32(2).I32Shl().I32Load(histBase)
+		fb.I32(1).I32Add()
+		fb.I32Store(histBase)
+		fb.Get(acc).Get(h).I32Xor().Set(acc)
+	})
+	// fold histogram
+	fb.LoopN(i, 0, 8, 1, func() {
+		fb.Get(i).I32(2).I32Shl().I32Load(histBase).Get(acc).I32(5).I32Rotl().I32Add().Set(acc)
+	})
+	fb.Get(acc)
+	fb.MustBuild()
+	m.MustExport("run")
+	return mustValidate(m)
+}
+
+// regexDFA compiles the filter pattern ^/api/v[0-9]+/users/ into a DFA
+// transition table (states x 256 bytes), host-side.
+func regexDFA() (table []byte, accept int) {
+	// States: 0../api/v prefix (7), 7 = first digit seen, 8../users/
+	// suffix (7 more), 15 = accept (sticky), 16 = reject (sticky).
+	const (
+		nStates = 17
+		acc     = 15
+		rej     = 16
+	)
+	table = make([]byte, nStates*256)
+	set := func(state int, ch byte, next int) { table[state*256+int(ch)] = byte(next) }
+	fill := func(state, next int) {
+		for c := 0; c < 256; c++ {
+			table[state*256+c] = byte(next)
+		}
+	}
+	for s := 0; s < nStates; s++ {
+		fill(s, rej)
+	}
+	prefix := "/api/v"
+	for i, ch := range []byte(prefix) {
+		set(i, ch, i+1)
+	}
+	// state 6: expect digits
+	for d := byte('0'); d <= '9'; d++ {
+		set(6, d, 7)
+		set(7, d, 7)
+	}
+	suffix := "/users/"
+	// state 7 on '/' begins the suffix; the final suffix byte accepts.
+	set(7, suffix[0], 8)
+	for i := 1; i < len(suffix); i++ {
+		next := 8 + i
+		if i == len(suffix)-1 {
+			next = acc
+		}
+		set(7+i, suffix[i], next)
+	}
+	fill(acc, acc) // accepting is sticky
+	return table, acc
+}
+
+// buildFaasRegex runs the DFA over each URL, counting matches.
+func buildFaasRegex(bool) *ir.Module {
+	const dfaBase = 16384
+	m := ir.NewModule("regex-filtering", 1, 1)
+	m.AddData(faasURLBase, faasURLs())
+	table, accept := regexDFA()
+	m.AddData(dfaBase, table)
+	const (
+		n       = 0
+		it      = 1
+		i       = 2
+		state   = 3
+		c       = 4
+		matches = 5
+	)
+	fb := m.NewFunc("run", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}),
+		ir.I32, ir.I32, ir.I32, ir.I32, ir.I32)
+	fb.LoopNDyn(it, n, 0, 1, func() {
+		fb.Get(it).I32(faasURLCount - 1).I32And().I32(6).I32Shl().Set(i)
+		fb.I32(0).Set(state)
+		fb.While(func() {
+			fb.Get(i).I32Load8U(faasURLBase).Tee(c).I32(0).I32Ne()
+		}, func() {
+			// state = dfa[state*256 + c]
+			fb.Get(state).I32(8).I32Shl().Get(c).I32Add().I32Load8U(dfaBase).Set(state)
+			fb.Get(i).I32(1).I32Add().Set(i)
+		})
+		fb.Get(state).I32(int32(accept)).I32Eq()
+		fb.If()
+		fb.Get(matches).I32(1).I32Add().Set(matches)
+		fb.End()
+	})
+	fb.Get(matches)
+	fb.MustBuild()
+	m.MustExport("run")
+	return mustValidate(m)
+}

@@ -1,0 +1,298 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Firefox returns the library-sandboxing workloads of §6.1: a
+// scanline glyph rasterizer standing in for libgraphite (font
+// rendering, invoked once per glyph — transition heavy) and an XML
+// tokenizer standing in for libexpat (invoked once per document chunk).
+//
+// The "glyph" export renders one glyph (what Firefox's per-glyph
+// invocation pattern calls); "run" renders n glyphs for batch
+// measurement and differential testing.
+func Firefox() Suite {
+	return Suite{Name: "firefox", Kernels: []Kernel{
+		{Name: "font", Build: buildFont, Entry: "run", Args: []uint64{4000}, TestArgs: []uint64{12}},
+		{Name: "xml", Build: buildXML, Entry: "run", Args: []uint64{300}, TestArgs: []uint64{3}},
+	}}
+}
+
+const (
+	fontGlyphBase  = 0     // 64 glyphs x 16 edges x 8 bytes
+	fontBitmapBase = 50000 // 32x32 byte bitmap
+	fontCrossBase  = 51200 // scanline crossing buffer (i32 x values)
+	fontEdges      = 16
+	fontGlyphs     = 64
+)
+
+// fontGlyphData generates deterministic glyph outlines: each edge is
+// (x0, y0, x1, y1) in 8.8 fixed point with y0 != y1.
+func fontGlyphData() []byte {
+	out := make([]byte, fontGlyphs*fontEdges*8)
+	x := uint64(0xF047)
+	next := func(mod int) int {
+		x = x*6364136223846793005 + 1442695040888963407
+		return int((x >> 33) % uint64(mod))
+	}
+	for g := 0; g < fontGlyphs; g++ {
+		for e := 0; e < fontEdges; e++ {
+			x0 := next(32 << 8)
+			y0 := next(32 << 8)
+			y1 := next(32 << 8)
+			if y1>>4 == y0>>4 {
+				y1 = (y0 + (8 << 8)) % (32 << 8)
+			}
+			x1 := next(32 << 8)
+			off := (g*fontEdges + e) * 8
+			binary.LittleEndian.PutUint16(out[off:], uint16(x0))
+			binary.LittleEndian.PutUint16(out[off+2:], uint16(y0))
+			binary.LittleEndian.PutUint16(out[off+4:], uint16(x1))
+			binary.LittleEndian.PutUint16(out[off+6:], uint16(y1))
+		}
+	}
+	return out
+}
+
+// buildFont builds the rasterizer module.
+func buildFont(bool) *ir.Module {
+	m := ir.NewModule("font", 1, 1)
+	m.AddData(fontGlyphBase, fontGlyphData())
+
+	// glyph(g) -> checksum of the rasterized 32x32 bitmap.
+	g := m.NewFunc("glyph", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}),
+		ir.I32, ir.I32, ir.I32, ir.I32, ir.I32, ir.I32, ir.I32, ir.I32, ir.I32)
+	const (
+		gi   = 0 // glyph index (param)
+		y    = 1 // scanline
+		e    = 2 // edge index
+		cnt  = 3 // crossings this scanline
+		base = 4 // glyph edge base address
+		y0   = 5
+		y1   = 6
+		xx   = 7 // crossing x
+		k    = 8
+		acc  = 9
+	)
+	// base = (g % 64) * edges*8
+	g.Get(gi).I32(fontGlyphs - 1).I32And().I32(fontEdges * 8).I32Mul().Set(base)
+	// clear bitmap
+	g.I32(fontBitmapBase).I32(0).I32(1024).MemFill()
+	g.LoopN(y, 0, 32, 1, func() {
+		g.I32(0).Set(cnt)
+		g.LoopN(e, 0, fontEdges, 1, func() {
+			// load y0, y1 (8.8 fixed)
+			g.Get(base).Get(e).I32(3).I32Shl().I32Add().I32Load16U(fontGlyphBase + 2).Set(y0)
+			g.Get(base).Get(e).I32(3).I32Shl().I32Add().I32Load16U(fontGlyphBase + 6).Set(y1)
+			// does scanline yc = y<<8 | 0x80 cross [min(y0,y1), max)?
+			// compute crossing using signed interpolation
+			g.Get(y0).Get(y1).I32GtS()
+			g.If()
+			// swap so y0 < y1 (also swap x roles by reloading below)
+			g.Get(y0).Get(y1).Set(y0).Set(y1) // note: set order pops y1's value into y0...
+			g.End()
+			g.Get(y0).Get(y).I32(8).I32Shl().I32(128).I32Or().I32LeS()
+			g.Get(y).I32(8).I32Shl().I32(128).I32Or().Get(y1).I32LtS()
+			g.I32And()
+			g.If()
+			// x = x0 + (yc - y0) * (x1 - x0) / (y1 - y0)
+			g.Get(base).Get(e).I32(3).I32Shl().I32Add().I32Load16U(fontGlyphBase + 0)
+			g.Get(y).I32(8).I32Shl().I32(128).I32Or().Get(y0).I32Sub()
+			g.Get(base).Get(e).I32(3).I32Shl().I32Add().I32Load16U(fontGlyphBase + 4)
+			g.Get(base).Get(e).I32(3).I32Shl().I32Add().I32Load16U(fontGlyphBase + 0)
+			g.I32Sub().I32Mul()
+			g.Get(y1).Get(y0).I32Sub().I32DivS()
+			g.I32Add().Set(xx)
+			// crossings[cnt++] = x
+			g.Get(cnt).I32(2).I32Shl().Get(xx).I32Store(fontCrossBase)
+			g.Get(cnt).I32(1).I32Add().Set(cnt)
+			g.End()
+		})
+		// insertion sort crossings[0..cnt)
+		g.I32(1).Set(e)
+		g.While(func() { g.Get(e).Get(cnt).I32LtS() }, func() {
+			g.Get(e).Set(k)
+			g.While(func() {
+				g.Get(k).I32(0).I32GtS()
+				g.If(ir.I32)
+				g.Get(k).I32(2).I32Shl().I32Load(fontCrossBase - 4)
+				g.Get(k).I32(2).I32Shl().I32Load(fontCrossBase)
+				g.I32GtS()
+				g.Else()
+				g.I32(0)
+				g.End()
+			}, func() {
+				// swap crossings[k-1], crossings[k]
+				g.Get(k).I32(2).I32Shl().I32Load(fontCrossBase - 4).Set(xx)
+				g.Get(k).I32(2).I32Shl()
+				g.Get(k).I32(2).I32Shl().I32Load(fontCrossBase)
+				g.I32Store(fontCrossBase - 4)
+				g.Get(k).I32(2).I32Shl().Get(xx).I32Store(fontCrossBase)
+				g.Get(k).I32(1).I32Sub().Set(k)
+			})
+			g.Get(e).I32(1).I32Add().Set(e)
+		})
+		// fill spans: pairs of crossings
+		g.I32(0).Set(e)
+		g.While(func() { g.Get(e).I32(1).I32Add().Get(cnt).I32LtS() }, func() {
+			// from x0 = crossings[e]>>8 clamped, to x1 = crossings[e+1]>>8
+			g.Get(e).I32(2).I32Shl().I32Load(fontCrossBase).I32(8).I32ShrS().Set(y0)
+			g.Get(e).I32(2).I32Shl().I32Load(fontCrossBase + 4).I32(8).I32ShrS().Set(y1)
+			// clamp to [0, 31]
+			g.Get(y0).I32(0).I32LtS()
+			g.If()
+			g.I32(0).Set(y0)
+			g.End()
+			g.Get(y1).I32(31).I32GtS()
+			g.If()
+			g.I32(31).Set(y1)
+			g.End()
+			g.Get(y0).Set(k)
+			g.While(func() { g.Get(k).Get(y1).I32LeS() }, func() {
+				g.Get(y).I32(5).I32Shl().Get(k).I32Add()
+				g.I32(255)
+				g.I32Store8(fontBitmapBase)
+				g.Get(k).I32(1).I32Add().Set(k)
+			})
+			g.Get(e).I32(2).I32Add().Set(e)
+		})
+	})
+	// checksum bitmap
+	g.I32(0).Set(acc)
+	g.LoopN(k, 0, 1024, 1, func() {
+		g.Get(k).I32Load8U(fontBitmapBase).Get(acc).I32(31).I32Rotl().I32Add().Set(acc)
+	})
+	g.Get(acc)
+	g.MustBuild()
+
+	// run(n): render n glyphs, xor of checksums.
+	const (
+		n  = 0
+		i  = 1
+		a2 = 2
+	)
+	fb := m.NewFunc("run", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}), ir.I32, ir.I32)
+	fb.LoopNDyn(i, n, 0, 1, func() {
+		fb.Get(i).CallNamed("glyph").Get(a2).I32Xor().Set(a2)
+	})
+	fb.Get(a2)
+	fb.MustBuild()
+	m.MustExport("glyph")
+	m.MustExport("run")
+	return mustValidate(m)
+}
+
+// xmlDocument generates the SVG-flavored test document: nested elements
+// with attributes and text, echoing the paper's Google-Docs-toolbar SVG
+// amplified by concatenation.
+func xmlDocument() []byte {
+	var doc []byte
+	doc = append(doc, "<svg width=\"1024\" height=\"768\">"...)
+	for i := 0; i < 40; i++ {
+		doc = append(doc, fmt.Sprintf("<g id=\"icon%d\" class=\"toolbar\"><path d=\"M0 0 L%d %d Z\" fill=\"#4285f4\"/><rect x=\"%d\" y=\"2\" width=\"16\" height=\"16\"/>text run %d</g>", i, i*3, i*7%31, i%19, i)...)
+	}
+	doc = append(doc, "</svg>"...)
+	return doc
+}
+
+const (
+	xmlDocBase   = 8192
+	xmlClassBase = 0 // 256-byte character class table
+)
+
+// buildXML builds the tokenizer module. parse(len) scans the document
+// prefix of the given length; run(n) parses the whole document n times.
+func buildXML(bool) *ir.Module {
+	m := ir.NewModule("xml", 2, 2)
+	// Character classes, replicated per state plane (state*256 + char):
+	// 0=text, 1='<', 2='>', 3='"', 4='=', 5='/', 6=space.
+	classes := make([]byte, 3*256)
+	for plane := 0; plane < 3; plane++ {
+		classes[plane*256+'<'] = 1
+		classes[plane*256+'>'] = 2
+		classes[plane*256+'"'] = 3
+		classes[plane*256+'='] = 4
+		classes[plane*256+'/'] = 5
+		classes[plane*256+' '] = 6
+	}
+	m.AddData(xmlClassBase, classes)
+	doc := xmlDocument()
+	m.AddData(xmlDocBase, doc)
+
+	p := m.NewFunc("parse", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}),
+		ir.I32, ir.I32, ir.I32, ir.I32, ir.I32, ir.I32, ir.I32)
+	const (
+		length = 0
+		i      = 1
+		state  = 2 // 0=text, 1=tag, 2=quoted attribute value
+		elems  = 3
+		attrs  = 4
+		text   = 5
+		cls    = 6
+		docp   = 7 // document base "pointer" (runtime value)
+	)
+	p.I32(xmlDocBase).Set(docp)
+	p.LoopNDyn(i, length, 0, 1, func() {
+		// cls = classes[state*256 + doc[i]] — both lookups are
+		// base+index accesses.
+		p.Get(i).Get(docp).I32Add().I32Load8U(0)
+		p.Get(state).I32(8).I32Shl().I32Add().I32Load8U(xmlClassBase).Set(cls)
+		p.Get(state).I32Eqz()
+		p.If() // text state
+		p.Get(cls).I32(1).I32Eq()
+		p.If() // '<' opens a tag
+		p.I32(1).Set(state)
+		p.Get(elems).I32(1).I32Add().Set(elems)
+		p.Else()
+		p.Get(text).I32(1).I32Add().Set(text)
+		p.End()
+		p.Else()
+		p.Get(state).I32(1).I32Eq()
+		p.If() // tag state
+		p.Get(cls).I32(2).I32Eq()
+		p.If() // '>' closes the tag
+		p.I32(0).Set(state)
+		p.Else()
+		p.Get(cls).I32(3).I32Eq()
+		p.If() // '"' opens a quoted value
+		p.I32(2).Set(state)
+		p.Else()
+		p.Get(cls).I32(4).I32Eq()
+		p.If() // '=' marks an attribute
+		p.Get(attrs).I32(1).I32Add().Set(attrs)
+		p.End()
+		p.End()
+		p.End()
+		p.Else() // quoted state
+		p.Get(cls).I32(3).I32Eq()
+		p.If() // closing '"'
+		p.I32(1).Set(state)
+		p.End()
+		p.End()
+		p.End()
+	})
+	p.Get(elems).I32(16).I32Shl()
+	p.Get(attrs).I32(6).I32Shl().I32Add()
+	p.Get(text).I32Add()
+	p.MustBuild()
+
+	// run(n): parse the full document n times.
+	const (
+		n   = 0
+		it  = 1
+		acc = 2
+	)
+	fb := m.NewFunc("run", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}), ir.I32, ir.I32)
+	fb.LoopNDyn(it, n, 0, 1, func() {
+		fb.I32(int32(len(doc))).CallNamed("parse").Get(acc).I32Xor().Set(acc)
+	})
+	fb.Get(acc)
+	fb.MustBuild()
+	m.MustExport("parse")
+	m.MustExport("run")
+	return mustValidate(m)
+}

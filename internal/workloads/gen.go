@@ -1,0 +1,236 @@
+package workloads
+
+import "repro/internal/ir"
+
+// Profile characterizes a synthetic SPEC stand-in kernel: how many
+// operations of each class one loop iteration performs, the working-set
+// size, and the access pattern. The mixes are calibrated per benchmark
+// to published characterizations (memory-op density, FP share,
+// branchiness, pointer chasing); DESIGN.md documents why this preserves
+// the paper's normalized-runtime shape.
+type Profile struct {
+	Name string
+
+	IntLoads  int
+	IntStores int
+	F64Loads  int
+	F64Stores int
+	ALU       int // integer ALU ops per iteration
+	F64ALU    int
+	Chase     int // dependent pointer-chase loads per iteration
+	Branches  int // data-dependent branches per iteration
+	Calls     bool
+
+	WorkingSetKB int
+	Sequential   bool // streaming access instead of hashed-random
+
+	// PlainAddr addresses memory through a single pre-scaled register
+	// (tight pointer-increment loops). Classic SFI folds these as well
+	// as Segue does — so Segue gains nothing and pays its prefix
+	// bytes, the 473_astar outlier of §6.1.
+	PlainAddr bool
+}
+
+// BuildProfile constructs the kernel module for p. The native variant
+// stores pointer-chase links as 8-byte entries (native pointer width);
+// the Wasm variant uses 4-byte indices — the pointer-compression
+// difference behind the 429_mcf outlier.
+func BuildProfile(p Profile, native bool) *ir.Module {
+	wsBytes := uint64(p.WorkingSetKB) * 1024
+	if wsBytes < 4096 {
+		wsBytes = 4096
+	}
+	// The index masks below require a power-of-two working set.
+	for wsBytes&(wsBytes-1) != 0 {
+		wsBytes &= wsBytes - 1
+		wsBytes <<= 1
+	}
+	// Region layout: ints at 0, f64s after, chase links after that.
+	intBase := uint32(0)
+	f64Base := uint32(wsBytes)
+	chaseElems := uint32(wsBytes / 32)
+	chaseStride := uint32(4)
+	if native {
+		chaseStride = 8
+	}
+	chaseBase := f64Base + uint32(wsBytes)
+	totalBytes := uint64(chaseBase) + uint64(chaseElems*chaseStride) + ir.PageSize
+	m := ir.NewModule(p.Name, pages(totalBytes), pages(totalBytes))
+
+	// Optional helper function (gobmk/sjeng-style call-heavy codes).
+	if p.Calls {
+		h := m.NewFunc("helper", ir.Sig([]ir.ValType{ir.I32, ir.I32}, []ir.ValType{ir.I32}))
+		h.Get(0).I32(3).I32Mul().Get(1).I32Xor()
+		h.Get(0).I32(11).I32ShrU().I32Add()
+		h.MustBuild()
+	}
+
+	const (
+		iters = 0
+		i     = 1
+		acc   = 2
+		idx   = 3 // element index into the working set
+		bp    = 4 // dynamic region "pointer" — gives loads/stores the
+		//          base + index*scale shape where classic SFI pays
+		ptr  = 5
+		x64  = 6 // i64 lcg
+		facc = 7 // f64
+	)
+	fb := m.NewFunc("run", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}),
+		ir.I32, ir.I32, ir.I32, ir.I32, ir.I32, ir.I64, ir.F64)
+
+	// --- setup: fill the working set deterministically ---
+	fb.I64(-7046029254386353131).Set(x64)
+	fb.LoopN(i, 0, int32(wsBytes/4), 1, func() {
+		fb.Get(x64).I64(6364136223846793005).I64Mul().I64(1442695040888963407).I64Add().Set(x64)
+		fb.Get(i).I32(2).I32Shl()
+		fb.Get(x64).I64(32).I64ShrU().I32WrapI64()
+		fb.I32Store(intBase)
+	})
+	fb.LoopN(i, 0, int32(wsBytes/8), 1, func() {
+		fb.Get(i).I32(3).I32Shl()
+		fb.Get(i).I32(1).I32Add().F64ConvertI32S().F64(1e-3).F64Mul()
+		fb.F64Store(f64Base)
+	})
+	if p.Chase > 0 {
+		// links[i] = (i + 9973) mod n: one long cycle with a stride
+		// that defeats line reuse.
+		fb.LoopN(i, 0, int32(chaseElems), 1, func() {
+			if native {
+				fb.Get(i).I32(3).I32Shl()
+				fb.Get(i).I32(9973).I32Add().I32(int32(chaseElems)).I32RemU()
+				fb.I64ExtendI32U()
+				fb.I64Store(chaseBase)
+			} else {
+				fb.Get(i).I32(2).I32Shl()
+				fb.Get(i).I32(9973).I32Add().I32(int32(chaseElems)).I32RemU()
+				fb.I32Store(chaseBase)
+			}
+		})
+	}
+
+	// --- main loop ---
+	// Element-index masks keep idx in the lower half of each region so
+	// the per-access "+ small offset" stays in bounds without a mask in
+	// the address chain (real code rarely masks every access).
+	intElemMask := int32(wsBytes/8 - 1)
+	f64ElemMask := int32(wsBytes/16 - 1)
+	fb.I32(0).Set(bp) // region "pointer" (runtime value, like a C argument)
+	// PlainAddr kernels route all hot state (including the address)
+	// through acc, which is register-assigned in every mode, so classic
+	// SFI keeps the tight loop entirely in registers too.
+	hot := uint32(acc)
+	fb.LoopNDyn(i, iters, 0, 1, func() {
+		// index selection: hashed-random or streaming
+		if p.PlainAddr {
+			// Tight-loop shape: one register holds a pre-scaled byte
+			// address that doubles as the accumulator; per-access
+			// constant displacements fold in every mode. Loads
+			// accumulate on the operand stack.
+			fb.Get(acc).Get(i).I32Add().I32(u32c(2654435761)).I32Mul().I32(9).I32ShrU().I32(intElemMask).I32And().I32(2).I32Shl().Set(acc)
+			fb.Get(acc).I32Load(intBase)
+			for l := 1; l < p.IntLoads; l++ {
+				fb.Get(acc).I32Load(intBase + uint32(l*68))
+				fb.I32Add()
+			}
+			for s := 0; s < p.IntStores; s++ {
+				fb.Get(acc)
+				fb.Get(acc)
+				fb.I32Store(intBase + uint32(s*132+4))
+			}
+			// Fold the loaded sum back into the address/accumulator.
+			fb.Get(acc).I32Add().Set(acc)
+		} else if p.Sequential {
+			fb.Get(i).I32(4).I32Shl().I32(intElemMask).I32And().Set(idx)
+		} else {
+			fb.Get(i).I32(u32c(2654435761)).I32Mul().I32(9).I32ShrU().I32(intElemMask).I32And().Set(idx)
+		}
+		if !p.PlainAddr {
+			for l := 0; l < p.IntLoads; l++ {
+				// arr[bp + idx + l*17]: the base + index*scale + disp
+				// shape of Figure 1 pattern 2.
+				fb.Get(idx).I32(int32(l * 17)).I32Add().I32(2).I32Shl().Get(bp).I32Add()
+				fb.I32Load(intBase)
+				fb.Get(acc).I32Add().Set(acc)
+			}
+			for s := 0; s < p.IntStores; s++ {
+				fb.Get(idx).I32(int32(s*31 + 7)).I32Add().I32(2).I32Shl().Get(bp).I32Add()
+				fb.Get(acc)
+				fb.I32Store(intBase)
+			}
+		}
+		for c := 0; c < p.Chase; c++ {
+			if native {
+				fb.Get(ptr).I32(3).I32Shl().I64Load(chaseBase).I32WrapI64().Set(ptr)
+			} else {
+				fb.Get(ptr).I32(2).I32Shl().I32Load(chaseBase).Set(ptr)
+			}
+		}
+		if p.Chase > 0 {
+			fb.Get(acc).Get(ptr).I32Add().Set(acc)
+		}
+		for a := 0; a < p.ALU; a++ {
+			switch a % 4 {
+			case 0:
+				fb.Get(hot).I32(3).I32Mul().Get(i).I32Add().Set(hot)
+			case 1:
+				fb.Get(hot).Get(hot).I32(7).I32ShrU().I32Xor().Set(hot)
+			case 2:
+				fb.Get(hot).I32(13).I32Rotl().Set(hot)
+			default:
+				fb.Get(hot).I32(u32c(0x85EBCA6B)).I32Add().Set(hot)
+			}
+		}
+		for f := 0; f < p.F64Loads; f++ {
+			fb.Get(idx).I32(f64ElemMask).I32And().I32(int32(f * 13)).I32Add().I32(3).I32Shl().Get(bp).I32Add()
+			fb.F64Load(f64Base)
+			fb.Get(facc).F64Add().Set(facc)
+		}
+		for f := 0; f < p.F64ALU; f++ {
+			switch f % 3 {
+			case 0:
+				fb.Get(facc).F64(1.0000001).F64Mul().Set(facc)
+			case 1:
+				fb.Get(facc).Get(i).F64ConvertI32S().F64(1e9).F64Div().F64Add().Set(facc)
+			default:
+				fb.Get(facc).F64Abs().F64(1.25).F64Min().Get(facc).F64(0.5).F64Mul().F64Add().Set(facc)
+			}
+		}
+		for f := 0; f < p.F64Stores; f++ {
+			fb.Get(idx).I32(f64ElemMask).I32And().I32(int32(f*29 + 3)).I32Add().I32(3).I32Shl().Get(bp).I32Add()
+			fb.Get(facc)
+			fb.F64Store(f64Base)
+		}
+		for b := 0; b < p.Branches; b++ {
+			fb.Get(hot).I32(int32(b + 1)).I32ShrU().I32(1).I32And()
+			fb.If()
+			fb.Get(hot).I32(int32(0x27d4eb2d)).I32Add().Set(hot)
+			fb.Else()
+			fb.Get(hot).I32(u32c(0xC2B2AE35)).I32Xor().Set(hot)
+			fb.End()
+		}
+		if p.Calls {
+			fb.Get(acc).Get(idx).CallNamed("helper").Set(acc)
+		}
+	})
+
+	// checksum: fold the f64 accumulator in exactly.
+	fb.Get(hot)
+	fb.Get(facc).I64ReinterpretF64().I32WrapI64().I32Xor()
+	fb.Get(facc).I64ReinterpretF64().I64(32).I64ShrU().I32WrapI64().I32Xor()
+	fb.MustBuild()
+	m.MustExport("run")
+	return mustValidate(m)
+}
+
+// profileKernel wraps a profile as a Kernel.
+func profileKernel(p Profile, args, testArgs uint64) Kernel {
+	return Kernel{
+		Name:         p.Name,
+		Build:        func(native bool) *ir.Module { return BuildProfile(p, native) },
+		Entry:        "run",
+		Args:         []uint64{args},
+		TestArgs:     []uint64{testArgs},
+		PtrSensitive: p.Chase > 0,
+	}
+}

@@ -1,0 +1,464 @@
+package workloads
+
+import "repro/internal/ir"
+
+// Polybench returns the PolybenchC-style suite WAMR's developers
+// benchmark with (§6.2): dense linear-algebra and stencil loop nests in
+// f64, hand-written (these are tiny public kernels, unlike SPEC).
+// Dhrystone rides along as WAMR's other suite.
+func Polybench() Suite {
+	return Suite{Name: "polybench", Kernels: []Kernel{
+		{Name: "gemm", Build: buildPBGemm, Entry: "run", Args: []uint64{56}, TestArgs: []uint64{8}},
+		{Name: "2mm", Build: buildPB2mm, Entry: "run", Args: []uint64{40}, TestArgs: []uint64{6}},
+		{Name: "atax", Build: buildPBAtax, Entry: "run", Args: []uint64{420}, TestArgs: []uint64{24}},
+		{Name: "bicg", Build: buildPBBicg, Entry: "run", Args: []uint64{420}, TestArgs: []uint64{24}},
+		{Name: "gesummv", Build: buildPBGesummv, Entry: "run", Args: []uint64{400}, TestArgs: []uint64{20}},
+		{Name: "jacobi-2d", Build: buildPBJacobi2D, Entry: "run", Args: []uint64{40}, TestArgs: []uint64{5}},
+		{Name: "seidel-2d", Build: buildPBSeidel2D, Entry: "run", Args: []uint64{36}, TestArgs: []uint64{5}},
+		{Name: "dhrystone", Build: buildDhrystone, Entry: "run", Args: []uint64{120000}, TestArgs: []uint64{200}},
+	}}
+}
+
+// pbInit emits a setup loop filling count f64 elements at base with
+// deterministic values derived from the index.
+func pbInit(fb *ir.FuncBuilder, i uint32, base uint32, count int32, scale float64) {
+	fb.LoopN(i, 0, count, 1, func() {
+		fb.Get(i).I32(3).I32Shl()
+		fb.Get(i).I32(7).I32RemS().I32(1).I32Add().F64ConvertI32S().F64(scale).F64Mul()
+		fb.F64Store(base)
+	})
+}
+
+// f64Checksum folds an f64 local into an i32 result exactly.
+func f64Checksum(fb *ir.FuncBuilder, facc uint32) {
+	fb.Get(facc).I64ReinterpretF64().I32WrapI64()
+	fb.Get(facc).I64ReinterpretF64().I64(32).I64ShrU().I32WrapI64().I32Xor()
+}
+
+// buildPBGemm: C = alpha*A*B + beta*C over n x n f64 matrices.
+func buildPBGemm(bool) *ir.Module {
+	const dim = 64
+	const aBase, bBase, cBase = 0, dim * dim * 8, 2 * dim * dim * 8
+	m := ir.NewModule("gemm", pages(3*dim*dim*8+ir.PageSize), pages(3*dim*dim*8+ir.PageSize))
+	const (
+		n = 0
+		i = 1
+		j = 2
+		k = 3
+		s = 4 // f64 sum
+	)
+	fb := m.NewFunc("run", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}),
+		ir.I32, ir.I32, ir.I32, ir.F64)
+	pbInit(fb, i, aBase, dim*dim, 0.125)
+	pbInit(fb, i, bBase, dim*dim, 0.25)
+	pbInit(fb, i, cBase, dim*dim, 0.5)
+	fb.LoopNDyn(i, n, 0, 1, func() {
+		fb.LoopNDyn(j, n, 0, 1, func() {
+			fb.F64(0).Set(s)
+			fb.LoopNDyn(k, n, 0, 1, func() {
+				fb.Get(i).I32(dim).I32Mul().Get(k).I32Add().I32(3).I32Shl().F64Load(aBase)
+				fb.Get(k).I32(dim).I32Mul().Get(j).I32Add().I32(3).I32Shl().F64Load(bBase)
+				fb.F64Mul().Get(s).F64Add().Set(s)
+			})
+			// C[i][j] = 1.5*sum + 1.2*C[i][j]
+			fb.Get(i).I32(dim).I32Mul().Get(j).I32Add().I32(3).I32Shl()
+			fb.Get(s).F64(1.5).F64Mul()
+			fb.Get(i).I32(dim).I32Mul().Get(j).I32Add().I32(3).I32Shl().F64Load(cBase)
+			fb.F64(1.2).F64Mul().F64Add()
+			fb.F64Store(cBase)
+		})
+	})
+	// checksum: sum of diagonal
+	fb.F64(0).Set(s)
+	fb.LoopNDyn(i, n, 0, 1, func() {
+		fb.Get(i).I32(dim).I32Mul().Get(i).I32Add().I32(3).I32Shl().F64Load(cBase)
+		fb.Get(s).F64Add().Set(s)
+	})
+	f64Checksum(fb, s)
+	fb.MustBuild()
+	m.MustExport("run")
+	return mustValidate(m)
+}
+
+// buildPB2mm: D = A*B then E = D*C (two chained matmuls).
+func buildPB2mm(bool) *ir.Module {
+	const dim = 48
+	const aB, bB, cB, dB, eB = 0, dim * dim * 8, 2 * dim * dim * 8, 3 * dim * dim * 8, 4 * dim * dim * 8
+	m := ir.NewModule("2mm", pages(5*dim*dim*8+ir.PageSize), pages(5*dim*dim*8+ir.PageSize))
+	const (
+		n = 0
+		i = 1
+		j = 2
+		k = 3
+		s = 4
+	)
+	fb := m.NewFunc("run", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}),
+		ir.I32, ir.I32, ir.I32, ir.F64)
+	pbInit(fb, i, aB, dim*dim, 0.1)
+	pbInit(fb, i, bB, dim*dim, 0.2)
+	pbInit(fb, i, cB, dim*dim, 0.3)
+	mm := func(x, y, z uint32) {
+		fb.LoopNDyn(i, n, 0, 1, func() {
+			fb.LoopNDyn(j, n, 0, 1, func() {
+				fb.F64(0).Set(s)
+				fb.LoopNDyn(k, n, 0, 1, func() {
+					fb.Get(i).I32(dim).I32Mul().Get(k).I32Add().I32(3).I32Shl().F64Load(x)
+					fb.Get(k).I32(dim).I32Mul().Get(j).I32Add().I32(3).I32Shl().F64Load(y)
+					fb.F64Mul().Get(s).F64Add().Set(s)
+				})
+				fb.Get(i).I32(dim).I32Mul().Get(j).I32Add().I32(3).I32Shl()
+				fb.Get(s)
+				fb.F64Store(z)
+			})
+		})
+	}
+	mm(aB, bB, dB)
+	mm(dB, cB, eB)
+	fb.F64(0).Set(s)
+	fb.LoopNDyn(i, n, 0, 1, func() {
+		fb.Get(i).I32(dim).I32Mul().Get(i).I32Add().I32(3).I32Shl().F64Load(eB)
+		fb.Get(s).F64Add().Set(s)
+	})
+	f64Checksum(fb, s)
+	fb.MustBuild()
+	m.MustExport("run")
+	return mustValidate(m)
+}
+
+// buildPBAtax: y = A^T (A x) over an n x n system.
+func buildPBAtax(bool) *ir.Module {
+	const dim = 512
+	const aB, xB, tB, yB = 0, dim * dim * 8, dim*dim*8 + dim*8, dim*dim*8 + 2*dim*8
+	m := ir.NewModule("atax", pages(dim*dim*8+3*dim*8+ir.PageSize), pages(dim*dim*8+3*dim*8+ir.PageSize))
+	const (
+		n = 0
+		i = 1
+		j = 2
+		s = 3
+	)
+	fb := m.NewFunc("run", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}),
+		ir.I32, ir.I32, ir.F64)
+	pbInit(fb, i, xB, dim, 0.01)
+	fb.LoopNDyn(i, n, 0, 1, func() {
+		fb.LoopNDyn(j, n, 0, 1, func() {
+			fb.Get(i).I32(dim).I32Mul().Get(j).I32Add().I32(3).I32Shl()
+			fb.Get(i).Get(j).I32Add().I32(1).I32Add().F64ConvertI32S().F64(1e-4).F64Mul()
+			fb.F64Store(aB)
+		})
+	})
+	// t = A x
+	fb.LoopNDyn(i, n, 0, 1, func() {
+		fb.F64(0).Set(s)
+		fb.LoopNDyn(j, n, 0, 1, func() {
+			fb.Get(i).I32(dim).I32Mul().Get(j).I32Add().I32(3).I32Shl().F64Load(aB)
+			fb.Get(j).I32(3).I32Shl().F64Load(xB)
+			fb.F64Mul().Get(s).F64Add().Set(s)
+		})
+		fb.Get(i).I32(3).I32Shl().Get(s).F64Store(tB)
+	})
+	// y = A^T t
+	fb.LoopNDyn(j, n, 0, 1, func() {
+		fb.F64(0).Set(s)
+		fb.LoopNDyn(i, n, 0, 1, func() {
+			fb.Get(i).I32(dim).I32Mul().Get(j).I32Add().I32(3).I32Shl().F64Load(aB)
+			fb.Get(i).I32(3).I32Shl().F64Load(tB)
+			fb.F64Mul().Get(s).F64Add().Set(s)
+		})
+		fb.Get(j).I32(3).I32Shl().Get(s).F64Store(yB)
+	})
+	fb.F64(0).Set(s)
+	fb.LoopNDyn(i, n, 0, 1, func() {
+		fb.Get(i).I32(3).I32Shl().F64Load(yB).Get(s).F64Add().Set(s)
+	})
+	f64Checksum(fb, s)
+	fb.MustBuild()
+	m.MustExport("run")
+	return mustValidate(m)
+}
+
+// buildPBBicg: the BiCG sub-kernel (two simultaneous mat-vec products).
+func buildPBBicg(bool) *ir.Module {
+	const dim = 512
+	const aB, pB, rB, qB, sB = 0, dim * dim * 8, dim*dim*8 + dim*8, dim*dim*8 + 2*dim*8, dim*dim*8 + 3*dim*8
+	m := ir.NewModule("bicg", pages(dim*dim*8+4*dim*8+ir.PageSize), pages(dim*dim*8+4*dim*8+ir.PageSize))
+	const (
+		n  = 0
+		i  = 1
+		j  = 2
+		s1 = 3
+	)
+	fb := m.NewFunc("run", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}),
+		ir.I32, ir.I32, ir.F64)
+	pbInit(fb, i, pB, dim, 0.02)
+	pbInit(fb, i, rB, dim, 0.03)
+	fb.LoopNDyn(i, n, 0, 1, func() {
+		fb.LoopNDyn(j, n, 0, 1, func() {
+			fb.Get(i).I32(dim).I32Mul().Get(j).I32Add().I32(3).I32Shl()
+			fb.Get(i).I32(3).I32Mul().Get(j).I32Add().I32(1).I32Add().F64ConvertI32S().F64(2e-4).F64Mul()
+			fb.F64Store(aB)
+		})
+	})
+	// q = A p ; s = A^T r, interleaved per row.
+	fb.LoopNDyn(i, n, 0, 1, func() {
+		fb.F64(0).Set(s1)
+		fb.LoopNDyn(j, n, 0, 1, func() {
+			fb.Get(i).I32(dim).I32Mul().Get(j).I32Add().I32(3).I32Shl().F64Load(aB)
+			fb.Get(j).I32(3).I32Shl().F64Load(pB)
+			fb.F64Mul().Get(s1).F64Add().Set(s1)
+			// s[j] += r[i] * A[i][j]
+			fb.Get(j).I32(3).I32Shl()
+			fb.Get(i).I32(3).I32Shl().F64Load(rB)
+			fb.Get(i).I32(dim).I32Mul().Get(j).I32Add().I32(3).I32Shl().F64Load(aB)
+			fb.F64Mul()
+			fb.Get(j).I32(3).I32Shl().F64Load(sB)
+			fb.F64Add()
+			fb.F64Store(sB)
+		})
+		fb.Get(i).I32(3).I32Shl().Get(s1).F64Store(qB)
+	})
+	fb.F64(0).Set(s1)
+	fb.LoopNDyn(i, n, 0, 1, func() {
+		fb.Get(i).I32(3).I32Shl().F64Load(qB).Get(s1).F64Add().Set(s1)
+		fb.Get(i).I32(3).I32Shl().F64Load(sB).Get(s1).F64Add().Set(s1)
+	})
+	f64Checksum(fb, s1)
+	fb.MustBuild()
+	m.MustExport("run")
+	return mustValidate(m)
+}
+
+// buildPBGesummv: y = alpha*A*x + beta*B*x.
+func buildPBGesummv(bool) *ir.Module {
+	const dim = 512
+	const aB, bB, xB, yB = 0, dim * dim * 8, 2 * dim * dim * 8, 2*dim*dim*8 + dim*8
+	m := ir.NewModule("gesummv", pages(2*dim*dim*8+2*dim*8+ir.PageSize), pages(2*dim*dim*8+2*dim*8+ir.PageSize))
+	const (
+		n = 0
+		i = 1
+		j = 2
+		s = 3
+		t = 4
+	)
+	fb := m.NewFunc("run", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}),
+		ir.I32, ir.I32, ir.F64, ir.F64)
+	pbInit(fb, i, xB, dim, 0.04)
+	fb.LoopNDyn(i, n, 0, 1, func() {
+		fb.LoopNDyn(j, n, 0, 1, func() {
+			fb.Get(i).I32(dim).I32Mul().Get(j).I32Add().I32(3).I32Shl()
+			fb.Get(i).Get(j).I32Mul().I32(13).I32RemS().I32(1).I32Add().F64ConvertI32S().F64(1e-3).F64Mul()
+			fb.F64Store(aB)
+			fb.Get(i).I32(dim).I32Mul().Get(j).I32Add().I32(3).I32Shl()
+			fb.Get(i).Get(j).I32Add().I32(11).I32RemS().I32(1).I32Add().F64ConvertI32S().F64(2e-3).F64Mul()
+			fb.F64Store(bB)
+		})
+	})
+	fb.LoopNDyn(i, n, 0, 1, func() {
+		fb.F64(0).Set(s)
+		fb.F64(0).Set(t)
+		fb.LoopNDyn(j, n, 0, 1, func() {
+			fb.Get(i).I32(dim).I32Mul().Get(j).I32Add().I32(3).I32Shl().F64Load(aB)
+			fb.Get(j).I32(3).I32Shl().F64Load(xB)
+			fb.F64Mul().Get(s).F64Add().Set(s)
+			fb.Get(i).I32(dim).I32Mul().Get(j).I32Add().I32(3).I32Shl().F64Load(bB)
+			fb.Get(j).I32(3).I32Shl().F64Load(xB)
+			fb.F64Mul().Get(t).F64Add().Set(t)
+		})
+		fb.Get(i).I32(3).I32Shl()
+		fb.Get(s).F64(1.5).F64Mul().Get(t).F64(1.2).F64Mul().F64Add()
+		fb.F64Store(yB)
+	})
+	fb.F64(0).Set(s)
+	fb.LoopNDyn(i, n, 0, 1, func() {
+		fb.Get(i).I32(3).I32Shl().F64Load(yB).Get(s).F64Add().Set(s)
+	})
+	f64Checksum(fb, s)
+	fb.MustBuild()
+	m.MustExport("run")
+	return mustValidate(m)
+}
+
+// buildPBJacobi2D: t timesteps of the 5-point Jacobi stencil on a
+// fixed 96x96 grid (param = timesteps).
+func buildPBJacobi2D(bool) *ir.Module {
+	const nGrid = 96
+	const aB, bB = 0, nGrid * nGrid * 8
+	m := ir.NewModule("jacobi-2d", pages(2*nGrid*nGrid*8+ir.PageSize), pages(2*nGrid*nGrid*8+ir.PageSize))
+	const (
+		steps = 0
+		t     = 1
+		i     = 2
+		j     = 3
+		s     = 4
+	)
+	fb := m.NewFunc("run", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}),
+		ir.I32, ir.I32, ir.I32, ir.F64)
+	pbInit(fb, i, aB, nGrid*nGrid, 0.05)
+	// at pushes A[i + off/nGrid][j + off%nGrid] by folding off into the
+	// element index (offsets may be negative; i,j >= 1 keeps addresses
+	// in bounds).
+	at := func(base uint32, off int32) {
+		fb.Get(i).I32(nGrid).I32Mul().Get(j).I32Add().I32(off).I32Add().I32(3).I32Shl()
+		fb.F64Load(base)
+	}
+	fb.LoopNDyn(t, steps, 0, 1, func() {
+		fb.LoopN(i, 1, nGrid-1, 1, func() {
+			fb.LoopN(j, 1, nGrid-1, 1, func() {
+				fb.Get(i).I32(nGrid).I32Mul().Get(j).I32Add().I32(3).I32Shl()
+				at(aB, 0)
+				at(aB, 1)
+				fb.F64Add()
+				at(aB, -1)
+				fb.F64Add()
+				at(aB, nGrid)
+				fb.F64Add()
+				at(aB, -nGrid)
+				fb.F64Add()
+				fb.F64(0.2).F64Mul()
+				fb.F64Store(bB)
+			})
+		})
+		// copy back
+		fb.LoopN(i, 0, nGrid*nGrid, 1, func() {
+			fb.Get(i).I32(3).I32Shl()
+			fb.Get(i).I32(3).I32Shl().F64Load(bB)
+			fb.F64Store(aB)
+		})
+	})
+	fb.F64(0).Set(s)
+	fb.LoopN(i, 0, nGrid*nGrid, nGrid+1, func() {
+		fb.Get(i).I32(3).I32Shl().F64Load(aB).Get(s).F64Add().Set(s)
+	})
+	f64Checksum(fb, s)
+	fb.MustBuild()
+	m.MustExport("run")
+	return mustValidate(m)
+}
+
+// buildPBSeidel2D: Gauss-Seidel sweeps (in-place stencil, serial
+// dependence).
+func buildPBSeidel2D(bool) *ir.Module {
+	const nGrid = 96
+	const aB = 0
+	m := ir.NewModule("seidel-2d", pages(nGrid*nGrid*8+ir.PageSize), pages(nGrid*nGrid*8+ir.PageSize))
+	const (
+		steps = 0
+		t     = 1
+		i     = 2
+		j     = 3
+		s     = 4
+	)
+	fb := m.NewFunc("run", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}),
+		ir.I32, ir.I32, ir.I32, ir.F64)
+	pbInit(fb, i, aB, nGrid*nGrid, 0.07)
+	ld := func(off int32) {
+		fb.Get(i).I32(nGrid).I32Mul().Get(j).I32Add().I32(off).I32Add().I32(3).I32Shl()
+		fb.F64Load(aB)
+	}
+	fb.LoopNDyn(t, steps, 0, 1, func() {
+		fb.LoopN(i, 1, nGrid-1, 1, func() {
+			fb.LoopN(j, 1, nGrid-1, 1, func() {
+				fb.Get(i).I32(nGrid).I32Mul().Get(j).I32Add().I32(3).I32Shl()
+				ld(-nGrid - 1)
+				ld(-nGrid)
+				fb.F64Add()
+				ld(-nGrid + 1)
+				fb.F64Add()
+				ld(-1)
+				fb.F64Add()
+				ld(0)
+				fb.F64Add()
+				ld(1)
+				fb.F64Add()
+				ld(nGrid - 1)
+				fb.F64Add()
+				ld(nGrid)
+				fb.F64Add()
+				ld(nGrid + 1)
+				fb.F64Add()
+				fb.F64(9).F64Div()
+				fb.F64Store(aB)
+			})
+		})
+	})
+	fb.F64(0).Set(s)
+	fb.LoopN(i, 0, nGrid*nGrid, nGrid+3, func() {
+		fb.Get(i).I32(3).I32Shl().F64Load(aB).Get(s).F64Add().Set(s)
+	})
+	f64Checksum(fb, s)
+	fb.MustBuild()
+	m.MustExport("run")
+	return mustValidate(m)
+}
+
+// buildDhrystone approximates the classic Dhrystone mix: record
+// assignment (struct copies), string comparison, integer arithmetic,
+// and calls, per iteration.
+func buildDhrystone(bool) *ir.Module {
+	m := ir.NewModule("dhrystone", 2, 2)
+	// Two 30-byte "strings" that differ late.
+	s1 := []byte("DHRYSTONE PROGRAM, 1'ST STRING")
+	s2 := []byte("DHRYSTONE PROGRAM, 2'ND STRING")
+	m.AddData(4096, s1)
+	m.AddData(8192, s2)
+
+	// proc7(a, b) = a + b + 2 (classic Proc7).
+	p7 := m.NewFunc("proc7", ir.Sig([]ir.ValType{ir.I32, ir.I32}, []ir.ValType{ir.I32}))
+	p7.Get(0).Get(1).I32Add().I32(2).I32Add()
+	p7.MustBuild()
+
+	// strcmp30(a, b): compare 30 bytes, returning the difference index.
+	sc := m.NewFunc("strcmp30", ir.Sig([]ir.ValType{ir.I32, ir.I32}, []ir.ValType{ir.I32}), ir.I32)
+	sc.Block()
+	sc.Loop()
+	sc.Get(2).I32(30).I32GeS().BrIf(1)
+	sc.Get(0).Get(2).I32Add().I32Load8U(0)
+	sc.Get(1).Get(2).I32Add().I32Load8U(0)
+	sc.I32Ne().BrIf(1)
+	sc.Get(2).I32(1).I32Add().Set(2)
+	sc.Br(0)
+	sc.End()
+	sc.End()
+	sc.Get(2)
+	sc.MustBuild()
+
+	const (
+		n   = 0
+		i   = 1
+		a   = 2
+		b   = 3
+		acc = 4
+	)
+	fb := m.NewFunc("run", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}),
+		ir.I32, ir.I32, ir.I32, ir.I32)
+	fb.LoopNDyn(i, n, 0, 1, func() {
+		// record copy: 48 bytes from 12288 to 12352 via i64 moves
+		for off := int32(0); off < 48; off += 8 {
+			fb.I32(off).Get(acc).I64ExtendI32U().I64Store(12288)
+			fb.I32(off).I32(0).I64Load(uint32(12288 + off)).I64Store(12352)
+
+		}
+		// Proc_1/Proc_2-style integer chain: a and b are the hottest
+		// locals (b is the fourth local — register-resident only when
+		// Segue frees the base register).
+		fb.I32(2).Set(a)
+		fb.Get(a).I32(3).I32Mul().Get(i).I32Add().Set(b)
+		fb.Get(b).I32(7).I32Add().Get(a).I32Xor().Set(b)
+		fb.Get(b).Get(b).I32(3).I32ShrU().I32Add().Set(b)
+		fb.Get(b).I32(5).I32Mul().Get(i).I32Sub().Set(b)
+		fb.Get(b).I32(9).I32Rotl().Get(a).I32Add().Set(b)
+		fb.Get(a).Get(b).CallNamed("proc7").Set(a)
+		fb.I32(4096).I32(8192).CallNamed("strcmp30")
+		fb.Get(a).I32Add().Get(b).I32Add().Get(acc).I32Add().Set(acc)
+		// branchy select chain (Proc6-style)
+		fb.Get(i).I32(3).I32And()
+		fb.If()
+		fb.Get(acc).I32(5).I32Add().Set(acc)
+		fb.Else()
+		fb.Get(acc).I32(7).I32Xor().Set(acc)
+		fb.End()
+	})
+	fb.Get(acc)
+	fb.MustBuild()
+	m.MustExport("run")
+	return mustValidate(m)
+}

@@ -1,0 +1,527 @@
+package workloads
+
+import "repro/internal/ir"
+
+// Sightglass returns the Sightglass micro-benchmark suite (§6.2,
+// Figure 4): small kernels exercising single primitives. memmove and
+// sieve are written with the unrolled 64-bit access pairs that WAMR's
+// vectorization pass fuses — the shape behind the Segue regressions.
+func Sightglass() Suite {
+	return Suite{Name: "sightglass", Kernels: []Kernel{
+		{Name: "base64", Build: buildSGBase64, Entry: "run", Args: []uint64{120000}, TestArgs: []uint64{300}},
+		{Name: "fib2", Build: buildSGFib2, Entry: "run", Args: []uint64{1500000}, TestArgs: []uint64{30}},
+		{Name: "gimli", Build: buildSGGimli, Entry: "run", Args: []uint64{40000}, TestArgs: []uint64{24}},
+		{Name: "heapsort", Build: buildSGHeapsort, Entry: "run", Args: []uint64{30000}, TestArgs: []uint64{100}},
+		{Name: "matrix", Build: buildSGMatrix, Entry: "run", Args: []uint64{48}, TestArgs: []uint64{8}},
+		{Name: "memmove", Build: buildSGMemmove, Entry: "run", Args: []uint64{9000}, TestArgs: []uint64{3}},
+		{Name: "nestedloop", Build: buildSGNestedLoop, Entry: "run", Args: []uint64{500}, TestArgs: []uint64{10}},
+		{Name: "nestedloop2", Build: buildSGNestedLoop2, Entry: "run", Args: []uint64{120}, TestArgs: []uint64{6}},
+		{Name: "nestedloop3", Build: buildSGNestedLoop3, Entry: "run", Args: []uint64{42}, TestArgs: []uint64{4}},
+		{Name: "random", Build: buildSGRandom, Entry: "run", Args: []uint64{400000}, TestArgs: []uint64{500}},
+		{Name: "seqhash", Build: buildSGSeqhash, Entry: "run", Args: []uint64{400000}, TestArgs: []uint64{512}},
+		{Name: "sieve", Build: buildSGSieve, Entry: "run", Args: []uint64{450}, TestArgs: []uint64{2}},
+		{Name: "strchr", Build: buildSGStrchr, Entry: "run", Args: []uint64{150}, TestArgs: []uint64{3}},
+		{Name: "switch2", Build: buildSGSwitch, Entry: "run", Args: []uint64{300000}, TestArgs: []uint64{200}},
+	}}
+}
+
+// buildSGBase64 encodes a pseudo-random buffer, accumulating the output
+// bytes as the checksum.
+func buildSGBase64(bool) *ir.Module {
+	m := ir.NewModule("base64", 4, 4)
+	m.AddData(0, splitmix(0xb64, 60000))
+	m.AddData(200000, []byte("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"))
+	const (
+		n   = 0 // param: bytes to encode (capped by the data region)
+		i   = 1
+		j   = 2
+		acc = 3
+		w   = 4
+	)
+	fb := m.NewFunc("run", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}), ir.I32, ir.I32, ir.I32, ir.I32)
+	// Cap n to the data region.
+	fb.Get(n).I32(59997).I32GtS()
+	fb.If()
+	fb.I32(59997).Set(n)
+	fb.End()
+	fb.While(func() {
+		fb.Get(i).Get(n).I32LtS()
+	}, func() {
+		// w = src[i]<<16 | src[i+1]<<8 | src[i+2]
+		fb.Get(i).I32Load8U(0).I32(16).I32Shl()
+		fb.Get(i).I32Load8U(1).I32(8).I32Shl().I32Or()
+		fb.Get(i).I32Load8U(2).I32Or()
+		fb.Set(w)
+		// four table lookups, stored and accumulated
+		for k, shift := range []int32{18, 12, 6, 0} {
+			fb.Get(j).I32(int32(k)).I32Add()
+			fb.Get(w).I32(shift).I32ShrU().I32(63).I32And().I32Load8U(200000)
+			fb.I32Store8(100000) // dst[j+k] = alphabet[...]
+			fb.Get(acc)
+			fb.Get(w).I32(shift).I32ShrU().I32(63).I32And().I32Load8U(200000)
+			fb.I32Add().Set(acc)
+		}
+		fb.Get(i).I32(3).I32Add().Set(i)
+		fb.Get(j).I32(4).I32Add().Set(j)
+	})
+	fb.Get(acc)
+	fb.MustBuild()
+	m.MustExport("run")
+	return mustValidate(m)
+}
+
+// buildSGFib2 is the pure-ALU iterative Fibonacci.
+func buildSGFib2(bool) *ir.Module {
+	m := ir.NewModule("fib2", 1, 1)
+	const (
+		n = 0
+		i = 1
+		a = 2
+		b = 3
+		t = 4
+	)
+	fb := m.NewFunc("run", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}), ir.I32, ir.I32, ir.I32, ir.I32)
+	fb.I32(1).Set(b)
+	fb.LoopNDyn(i, n, 0, 1, func() {
+		fb.Get(a).Get(b).I32Add().Set(t)
+		fb.Get(b).Set(a)
+		fb.Get(t).Set(b)
+	})
+	fb.Get(a)
+	fb.MustBuild()
+	m.MustExport("run")
+	return mustValidate(m)
+}
+
+// buildSGGimli runs the Gimli permutation over a 48-byte state for the
+// given number of outer applications.
+func buildSGGimli(bool) *ir.Module {
+	m := ir.NewModule("gimli", 1, 1)
+	m.AddData(0, splitmix(0x91311, 48))
+	const (
+		iters = 0
+		it    = 1
+		r     = 2
+		col   = 3
+		x     = 4
+		y     = 5
+		z     = 6
+	)
+	fb := m.NewFunc("run", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}),
+		ir.I32, ir.I32, ir.I32, ir.I32, ir.I32, ir.I32)
+	fb.LoopNDyn(it, iters, 0, 1, func() {
+		// for r = 24; r > 0; r--
+		fb.I32(24).Set(r)
+		fb.While(func() { fb.Get(r).I32(0).I32GtS() }, func() {
+			fb.LoopN(col, 0, 4, 1, func() {
+				// x = rotl(s[col], 24)
+				fb.Get(col).I32(2).I32Shl().I32Load(0).I32(24).I32Rotl().Set(x)
+				// y = rotl(s[4+col], 9)
+				fb.Get(col).I32(2).I32Shl().I32Load(16).I32(9).I32Rotl().Set(y)
+				// z = s[8+col]
+				fb.Get(col).I32(2).I32Shl().I32Load(32).Set(z)
+				// s[8+col] = x ^ (z<<1) ^ ((y&z)<<2)
+				fb.Get(col).I32(2).I32Shl()
+				fb.Get(x).Get(z).I32(1).I32Shl().I32Xor()
+				fb.Get(y).Get(z).I32And().I32(2).I32Shl().I32Xor()
+				fb.I32Store(32)
+				// s[4+col] = y ^ x ^ ((x|z)<<1)
+				fb.Get(col).I32(2).I32Shl()
+				fb.Get(y).Get(x).I32Xor()
+				fb.Get(x).Get(z).I32Or().I32(1).I32Shl().I32Xor()
+				fb.I32Store(16)
+				// s[col] = z ^ y ^ ((x&y)<<3)
+				fb.Get(col).I32(2).I32Shl()
+				fb.Get(z).Get(y).I32Xor()
+				fb.Get(x).Get(y).I32And().I32(3).I32Shl().I32Xor()
+				fb.I32Store(0)
+			})
+			// small swap every 4 rounds, big swap on r%4==2
+			fb.Get(r).I32(3).I32And().I32Eqz()
+			fb.If()
+			// swap s[0]<->s[1], s[2]<->s[3]; xor round constant into s[0]
+			fb.I32(0).I32Load(0).Set(x)
+			fb.I32(0).I32(0).I32Load(4).I32Store(0)
+			fb.I32(0).Get(x).I32Store(4)
+			fb.I32(0).I32Load(8).Set(x)
+			fb.I32(0).I32(0).I32Load(12).I32Store(8)
+			fb.I32(0).Get(x).I32Store(12)
+			fb.I32(0)
+			fb.I32(0).I32Load(0)
+			fb.I32(u32c(0x9e377900)).Get(r).I32Or().I32Xor()
+			fb.I32Store(0)
+			fb.End()
+			fb.Get(r).I32(3).I32And().I32(2).I32Eq()
+			fb.If()
+			// big swap: s[0]<->s[2], s[1]<->s[3]
+			fb.I32(0).I32Load(0).Set(x)
+			fb.I32(0).I32(0).I32Load(8).I32Store(0)
+			fb.I32(0).Get(x).I32Store(8)
+			fb.I32(0).I32Load(4).Set(x)
+			fb.I32(0).I32(0).I32Load(12).I32Store(4)
+			fb.I32(0).Get(x).I32Store(12)
+			fb.End()
+			fb.Get(r).I32(1).I32Sub().Set(r)
+		})
+	})
+	fb.I32(0).I32Load(0)
+	fb.I32(0).I32Load(44).I32Add()
+	fb.MustBuild()
+	m.MustExport("run")
+	return mustValidate(m)
+}
+
+// buildSGHeapsort sorts n pseudo-random u32s with an out-of-line
+// sift-down (exercising calls), returning a sample checksum.
+func buildSGHeapsort(bool) *ir.Module {
+	m := ir.NewModule("heapsort", 4, 4)
+	// sift(root, end): sift a[root] down within a[0..end]
+	sift := m.NewFunc("sift", ir.Sig([]ir.ValType{ir.I32, ir.I32}, nil), ir.I32, ir.I32)
+	const (
+		root  = 0
+		end   = 1
+		child = 2
+		tmp   = 3
+	)
+	sift.Block()
+	sift.Loop()
+	sift.Get(root).I32(1).I32Shl().I32(1).I32Add().Set(child)
+	sift.Get(child).Get(end).I32GtS().BrIf(1)
+	// pick the larger child
+	sift.Get(child).Get(end).I32LtS()
+	sift.If()
+	sift.Get(child).I32(2).I32Shl().I32Load(0)
+	sift.Get(child).I32(2).I32Shl().I32Load(4)
+	sift.I32LtU()
+	sift.If()
+	sift.Get(child).I32(1).I32Add().Set(child)
+	sift.End()
+	sift.End()
+	// if a[root] >= a[child] done
+	sift.Get(root).I32(2).I32Shl().I32Load(0)
+	sift.Get(child).I32(2).I32Shl().I32Load(0)
+	sift.I32GeU().BrIf(1)
+	// swap a[root], a[child]
+	sift.Get(root).I32(2).I32Shl().I32Load(0).Set(tmp)
+	sift.Get(root).I32(2).I32Shl()
+	sift.Get(child).I32(2).I32Shl().I32Load(0)
+	sift.I32Store(0)
+	sift.Get(child).I32(2).I32Shl().Get(tmp).I32Store(0)
+	sift.Get(child).Set(root)
+	sift.Br(0)
+	sift.End()
+	sift.End()
+	sift.MustBuild()
+
+	const (
+		n   = 0
+		i   = 1
+		x64 = 2 // i64 LCG state
+		e   = 3
+	)
+	fb := m.NewFunc("run", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}), ir.I32, ir.I64, ir.I32)
+	// fill with LCG values
+	fb.I64(0x2545F4914F6CDD1D).Set(x64)
+	fb.LoopNDyn(i, n, 0, 1, func() {
+		fb.Get(x64).I64(6364136223846793005).I64Mul().I64(1442695040888963407).I64Add().Set(x64)
+		fb.Get(i).I32(2).I32Shl()
+		fb.Get(x64).I64(33).I64ShrU().I32WrapI64()
+		fb.I32Store(0)
+	})
+	// heapify
+	fb.Get(n).I32(2).I32DivS().I32(1).I32Sub().Set(i)
+	fb.While(func() { fb.Get(i).I32(0).I32GeS() }, func() {
+		fb.Get(i).Get(n).I32(1).I32Sub().CallNamed("sift")
+		fb.Get(i).I32(1).I32Sub().Set(i)
+	})
+	// sort
+	fb.Get(n).I32(1).I32Sub().Set(e)
+	fb.While(func() { fb.Get(e).I32(0).I32GtS() }, func() {
+		// swap a[0], a[e]
+		fb.I32(0).I32Load(0).Set(i)
+		fb.I32(0)
+		fb.Get(e).I32(2).I32Shl().I32Load(0)
+		fb.I32Store(0)
+		fb.Get(e).I32(2).I32Shl().Get(i).I32Store(0)
+		fb.I32(0).Get(e).I32(1).I32Sub().CallNamed("sift")
+		fb.Get(e).I32(1).I32Sub().Set(e)
+	})
+	fb.I32(0).I32Load(0)
+	fb.Get(n).I32(1).I32ShrS().I32(2).I32Shl().I32Load(0).I32Add()
+	fb.Get(n).I32(1).I32Sub().I32(2).I32Shl().I32Load(0).I32Add()
+	fb.MustBuild()
+	m.MustExport("run")
+	return mustValidate(m)
+}
+
+// buildSGMatrix multiplies two n x n i32 matrices (A at 0, B at 256 KiB,
+// C at 512 KiB), returning the diagonal sum.
+func buildSGMatrix(bool) *ir.Module {
+	m := ir.NewModule("matrix", 16, 16)
+	m.AddData(0, splitmix(0x3a7, 65536))
+	m.AddData(262144, splitmix(0x3b8, 65536))
+	const (
+		n   = 0
+		i   = 1
+		j   = 2
+		k   = 3
+		sum = 4
+		ib  = 5 // i*n
+	)
+	fb := m.NewFunc("run", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}),
+		ir.I32, ir.I32, ir.I32, ir.I32, ir.I32)
+	fb.LoopNDyn(i, n, 0, 1, func() {
+		fb.Get(i).Get(n).I32Mul().Set(ib)
+		fb.LoopNDyn(j, n, 0, 1, func() {
+			fb.I32(0).Set(sum)
+			fb.LoopNDyn(k, n, 0, 1, func() {
+				// sum += A[i*n+k] * B[k*n+j]
+				fb.Get(ib).Get(k).I32Add().I32(2).I32Shl().I32Load(0)
+				fb.Get(k).Get(n).I32Mul().Get(j).I32Add().I32(2).I32Shl().I32Load(262144)
+				fb.I32Mul().Get(sum).I32Add().Set(sum)
+			})
+			// C[i*n+j] = sum
+			fb.Get(ib).Get(j).I32Add().I32(2).I32Shl()
+			fb.Get(sum)
+			fb.I32Store(524288)
+		})
+	})
+	// diagonal checksum
+	fb.I32(0).Set(sum)
+	fb.LoopNDyn(i, n, 0, 1, func() {
+		fb.Get(i).Get(n).I32Mul().Get(i).I32Add().I32(2).I32Shl().I32Load(524288)
+		fb.Get(sum).I32Add().Set(sum)
+	})
+	fb.Get(sum)
+	fb.MustBuild()
+	m.MustExport("run")
+	return mustValidate(m)
+}
+
+// buildSGMemmove copies an 8 KiB (L1-resident) buffer with 2x-unrolled
+// 64-bit moves — the exact shape WAMR's vectorizer fuses into movdqu
+// pairs.
+func buildSGMemmove(bool) *ir.Module {
+	m := ir.NewModule("memmove", 2, 2)
+	m.AddData(0, splitmix(0x33, 8192))
+	// The inner counter is local 1 so it lands in a register in every
+	// mode; spilled counters would split the copy pairs the vectorizer
+	// matches.
+	const (
+		iters = 0
+		i     = 1
+		it    = 2
+	)
+	fb := m.NewFunc("run", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}), ir.I32, ir.I32)
+	fb.LoopNDyn(it, iters, 0, 1, func() {
+		fb.I32(0).Set(i)
+		fb.While(func() { fb.Get(i).I32(8192).I32LtS() }, func() {
+			// dst[i] = src[i]; dst[i+8] = src[i+8] (64-bit pairs)
+			fb.Get(i).Get(i).I64Load(0).I64Store(8192)
+			fb.Get(i).Get(i).I64Load(8).I64Store(8200)
+			fb.Get(i).I32(16).I32Add().Set(i)
+		})
+	})
+	fb.I32(4096).I32Load(8192)
+	fb.MustBuild()
+	m.MustExport("run")
+	return mustValidate(m)
+}
+
+func buildNested(depth int, name string) func(bool) *ir.Module {
+	return func(bool) *ir.Module {
+		m := ir.NewModule(name, 1, 1)
+		locals := make([]ir.ValType, depth+1)
+		for i := range locals {
+			locals[i] = ir.I32
+		}
+		fb := m.NewFunc("run", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}), locals...)
+		acc := uint32(depth + 1)
+		var nest func(d int)
+		nest = func(d int) {
+			if d == 0 {
+				fb.Get(acc).I32(1).I32Add().Set(acc)
+				return
+			}
+			fb.LoopNDyn(uint32(d), 0, 0, 1, func() { nest(d - 1) })
+		}
+		nest(depth)
+		fb.Get(acc)
+		fb.MustBuild()
+		m.MustExport("run")
+		return mustValidate(m)
+	}
+}
+
+func buildSGNestedLoop(native bool) *ir.Module  { return buildNested(2, "nestedloop")(native) }
+func buildSGNestedLoop2(native bool) *ir.Module { return buildNested(3, "nestedloop2")(native) }
+func buildSGNestedLoop3(native bool) *ir.Module { return buildNested(4, "nestedloop3")(native) }
+
+// buildSGRandom runs a 64-bit LCG, scattering values into a 64 KiB
+// window (random-access stores).
+func buildSGRandom(bool) *ir.Module {
+	m := ir.NewModule("random", 2, 2)
+	const (
+		n = 0
+		i = 1
+		x = 2 // i64 state
+	)
+	fb := m.NewFunc("run", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}), ir.I32, ir.I64)
+	fb.I64(88172645463325252).Set(x)
+	fb.LoopNDyn(i, n, 0, 1, func() {
+		fb.Get(x).I64(6364136223846793005).I64Mul().I64(1442695040888963407).I64Add().Set(x)
+		// buf[(x>>17) & 0xFFFC] = x
+		fb.Get(x).I64(17).I64ShrU().I32WrapI64().I32(0xFFFC).I32And()
+		fb.Get(x).I32WrapI64()
+		fb.I32Store(0)
+	})
+	fb.Get(x).I32WrapI64()
+	fb.MustBuild()
+	m.MustExport("run")
+	return mustValidate(m)
+}
+
+// buildSGSeqhash FNV-1a hashes a 64 KiB buffer repeatedly.
+func buildSGSeqhash(bool) *ir.Module {
+	m := ir.NewModule("seqhash", 2, 2)
+	m.AddData(0, splitmix(0x5e9, 65536))
+	const (
+		n = 0
+		i = 1
+		h = 2
+	)
+	fb := m.NewFunc("run", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}), ir.I32, ir.I32)
+	fb.I32(u32c(2166136261)).Set(h)
+	fb.LoopNDyn(i, n, 0, 1, func() {
+		fb.Get(h)
+		fb.Get(i).I32(0xFFFF).I32And().I32Load8U(0)
+		fb.I32Xor().I32(16777619).I32Mul().Set(h)
+	})
+	fb.Get(h)
+	fb.MustBuild()
+	m.MustExport("run")
+	return mustValidate(m)
+}
+
+// buildSGSieve is the sieve of Eratosthenes over 64K flags. The flag
+// array is cleared with 2x-unrolled 64-bit zero stores (the vectorizable
+// memset shape), then primes are counted.
+func buildSGSieve(bool) *ir.Module {
+	m := ir.NewModule("sieve", 2, 2)
+	// Inner-loop locals first so they get registers (see memmove).
+	const (
+		iters = 0
+		i     = 1
+		p     = 2
+		it    = 3
+		cnt   = 4
+		limit = 8192
+	)
+	fb := m.NewFunc("run", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}),
+		ir.I32, ir.I32, ir.I32, ir.I32)
+	fb.LoopNDyn(it, iters, 0, 1, func() {
+		// clear flags: unrolled 64-bit zero stores
+		fb.I32(0).Set(i)
+		fb.While(func() { fb.Get(i).I32(limit).I32LtS() }, func() {
+			fb.Get(i).I64(0).I64Store(0)
+			fb.Get(i).I64(0).I64Store(8)
+			fb.Get(i).I32(16).I32Add().Set(i)
+		})
+		// mark composites
+		fb.I32(2).Set(p)
+		fb.While(func() { fb.Get(p).Get(p).I32Mul().I32(limit).I32LtS() }, func() {
+			fb.Get(p).I32Load8U(0).I32Eqz()
+			fb.If()
+			fb.Get(p).Get(p).I32Mul().Set(i)
+			fb.While(func() { fb.Get(i).I32(limit).I32LtS() }, func() {
+				fb.Get(i).I32(1).I32Store8(0)
+				fb.Get(i).Get(p).I32Add().Set(i)
+			})
+			fb.End()
+			fb.Get(p).I32(1).I32Add().Set(p)
+		})
+		// count composites via 64-bit popcounts over the flag bytes
+		fb.I32(0).Set(cnt)
+		fb.I32(0).Set(i)
+		fb.While(func() { fb.Get(i).I32(limit).I32LtS() }, func() {
+			fb.Get(i).I64Load(0).I64Popcnt().I32WrapI64().Get(cnt).I32Add().Set(cnt)
+			fb.Get(i).I32(8).I32Add().Set(i)
+		})
+	})
+	fb.Get(cnt)
+	fb.MustBuild()
+	m.MustExport("run")
+	return mustValidate(m)
+}
+
+// buildSGStrchr scans a 16 KiB string for a byte that appears only at
+// the end, n times.
+func buildSGStrchr(bool) *ir.Module {
+	m := ir.NewModule("strchr", 1, 1)
+	data := splitmix(0x57c, 16384)
+	for i := range data {
+		if data[i] == 0x7F {
+			data[i] = 0x20
+		}
+	}
+	data[16383] = 0x7F
+	m.AddData(0, data)
+	const (
+		n   = 0
+		it  = 1
+		i   = 2
+		acc = 3
+	)
+	fb := m.NewFunc("run", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}),
+		ir.I32, ir.I32, ir.I32)
+	fb.LoopNDyn(it, n, 0, 1, func() {
+		fb.I32(0).Set(i)
+		fb.Block()
+		fb.Loop()
+		fb.Get(i).I32Load8U(0).I32(0x7F).I32Eq().BrIf(1)
+		fb.Get(i).I32(1).I32Add().Set(i)
+		fb.Br(0)
+		fb.End()
+		fb.End()
+		fb.Get(acc).Get(i).I32Add().Set(acc)
+	})
+	fb.Get(acc)
+	fb.MustBuild()
+	m.MustExport("run")
+	return mustValidate(m)
+}
+
+// buildSGSwitch dispatches through a 20-way br_table in a hot loop.
+func buildSGSwitch(bool) *ir.Module {
+	m := ir.NewModule("switch2", 1, 1)
+	const (
+		n   = 0
+		i   = 1
+		acc = 2
+	)
+	fb := m.NewFunc("run", ir.Sig([]ir.ValType{ir.I32}, []ir.ValType{ir.I32}), ir.I32, ir.I32)
+	const ways = 20
+	fb.LoopNDyn(i, n, 0, 1, func() {
+		// open `ways` blocks plus a default
+		for k := 0; k <= ways; k++ {
+			fb.Block()
+		}
+		fb.Get(i).I32(u32c(2654435761)).I32Mul().I32(27).I32ShrU().I32(31).I32And()
+		targets := make([]uint32, ways)
+		for k := range targets {
+			targets[k] = uint32(k)
+		}
+		fb.BrTable(targets, ways)
+		fb.End()
+		for k := 1; k <= ways; k++ {
+			fb.Get(acc).I32(int32(k * k)).I32Add().Set(acc)
+			fb.Br(uint32(ways - k))
+			fb.End()
+		}
+		fb.Get(acc).I32(1).I32Xor().Set(acc)
+	})
+	fb.Get(acc)
+	fb.MustBuild()
+	m.MustExport("run")
+	return mustValidate(m)
+}

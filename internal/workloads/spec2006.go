@@ -1,0 +1,128 @@
+package workloads
+
+// Spec2006 returns the Wasm-compatible SPEC CPU 2006 subset of §6.1
+// (Figure 3 / Table 2), as profile-calibrated synthetic kernels. Each
+// profile encodes the benchmark's published character:
+//
+//	401_bzip2       byte-granular compression: loads/stores + branches
+//	429_mcf         network simplex: dominated by pointer chasing over a
+//	                multi-MB working set (faster under Wasm: 4-byte links)
+//	433_milc        lattice QCD: streaming f64 arithmetic
+//	444_namd        molecular dynamics: dense f64 with small working set
+//	445_gobmk       go engine: branchy board scans, many calls
+//	458_sjeng       chess: bit manipulation, branches, recursion-like calls
+//	462_libquantum  quantum simulation: streaming integer sweeps (large ws)
+//	464_h264ref     video encoding: block SAD — dense byte loads, sequential
+//	470_lbm         fluid dynamics: streaming f64 with stores
+//	473_astar       path-finding: a very tight loop of dependent memory ops
+//	                (the paper's Segue outlier: prefix bytes visible)
+func Spec2006() Suite {
+	ks := []Kernel{
+		profileKernel(Profile{
+			Name: "401_bzip2", IntLoads: 5, IntStores: 2, ALU: 4, Branches: 3,
+			WorkingSetKB: 256, Sequential: true,
+		}, 300000, 400),
+		profileKernel(Profile{
+			Name: "429_mcf", IntLoads: 1, ALU: 2, Chase: 3, Branches: 1,
+			WorkingSetKB: 4096,
+		}, 400000, 300),
+		profileKernel(Profile{
+			Name: "433_milc", F64Loads: 5, F64Stores: 2, F64ALU: 4, ALU: 1,
+			WorkingSetKB: 1024, Sequential: true,
+		}, 250000, 300),
+		profileKernel(Profile{
+			Name: "444_namd", F64Loads: 4, F64ALU: 7, ALU: 1,
+			WorkingSetKB: 64,
+		}, 250000, 300),
+		profileKernel(Profile{
+			Name: "445_gobmk", IntLoads: 4, IntStores: 1, ALU: 3, Branches: 4, Calls: true,
+			WorkingSetKB: 128,
+		}, 300000, 400),
+		profileKernel(Profile{
+			Name: "458_sjeng", IntLoads: 3, ALU: 6, Branches: 3, Calls: true,
+			WorkingSetKB: 64,
+		}, 300000, 400),
+		profileKernel(Profile{
+			Name: "462_libquantum", IntLoads: 3, IntStores: 2, ALU: 2,
+			WorkingSetKB: 4096, Sequential: true,
+		}, 500000, 500),
+		profileKernel(Profile{
+			Name: "464_h264ref", IntLoads: 7, IntStores: 2, ALU: 4,
+			WorkingSetKB: 256, Sequential: true,
+		}, 250000, 300),
+		profileKernel(Profile{
+			Name: "470_lbm", F64Loads: 6, F64Stores: 3, F64ALU: 5,
+			WorkingSetKB: 4096, Sequential: true,
+		}, 200000, 300),
+		profileKernel(Profile{
+			Name: "473_astar", IntLoads: 5, IntStores: 1, ALU: 2, Branches: 1,
+			WorkingSetKB: 256, PlainAddr: true,
+		}, 350000, 300),
+	}
+	return Suite{Name: "spec2006", Kernels: ks}
+}
+
+// Spec2017 returns the SPECrate 2017 C/C++ subset used by the LFI
+// evaluation (§6.3, Figure 5) — the same 14 benchmarks as the prior LFI
+// work, again as calibrated profiles.
+func Spec2017() Suite {
+	ks := []Kernel{
+		profileKernel(Profile{
+			Name: "502_gcc_r", IntLoads: 5, IntStores: 2, ALU: 3, Branches: 4, Calls: true, Chase: 1,
+			WorkingSetKB: 1024,
+		}, 250000, 300),
+		profileKernel(Profile{
+			Name: "505_mcf_r", IntLoads: 1, ALU: 2, Chase: 3, Branches: 1,
+			WorkingSetKB: 4096,
+		}, 350000, 300),
+		profileKernel(Profile{
+			Name: "508_namd_r", F64Loads: 4, F64ALU: 7, ALU: 1,
+			WorkingSetKB: 64,
+		}, 250000, 300),
+		profileKernel(Profile{
+			Name: "510_parest_r", F64Loads: 5, F64Stores: 2, F64ALU: 4, ALU: 1, Branches: 1,
+			WorkingSetKB: 2048,
+		}, 200000, 300),
+		profileKernel(Profile{
+			Name: "511_povray_r", F64Loads: 3, F64ALU: 5, ALU: 2, Branches: 3, Calls: true,
+			WorkingSetKB: 128,
+		}, 250000, 300),
+		profileKernel(Profile{
+			Name: "519_lbm_r", F64Loads: 6, F64Stores: 3, F64ALU: 5,
+			WorkingSetKB: 4096, Sequential: true,
+		}, 200000, 300),
+		profileKernel(Profile{
+			Name: "520_omnetpp_r", IntLoads: 4, IntStores: 1, ALU: 2, Branches: 3, Chase: 2, Calls: true,
+			WorkingSetKB: 2048,
+		}, 250000, 300),
+		profileKernel(Profile{
+			Name: "523_xalancbmk_r", IntLoads: 5, IntStores: 1, ALU: 3, Branches: 3, Chase: 1, Calls: true,
+			WorkingSetKB: 1024,
+		}, 250000, 300),
+		profileKernel(Profile{
+			Name: "525_x264_r", IntLoads: 7, IntStores: 2, ALU: 5,
+			WorkingSetKB: 512, Sequential: true,
+		}, 250000, 300),
+		profileKernel(Profile{
+			Name: "531_deepsjeng_r", IntLoads: 3, ALU: 6, Branches: 3, Calls: true,
+			WorkingSetKB: 128,
+		}, 300000, 400),
+		profileKernel(Profile{
+			Name: "538_imagick_r", F64Loads: 5, F64Stores: 2, F64ALU: 5, ALU: 1,
+			WorkingSetKB: 1024, Sequential: true,
+		}, 200000, 300),
+		profileKernel(Profile{
+			Name: "541_leela_r", IntLoads: 4, ALU: 3, Branches: 4, Calls: true,
+			WorkingSetKB: 256,
+		}, 300000, 400),
+		profileKernel(Profile{
+			Name: "544_nab_r", F64Loads: 4, F64ALU: 6, ALU: 2,
+			WorkingSetKB: 256,
+		}, 250000, 300),
+		profileKernel(Profile{
+			Name: "557_xz_r", IntLoads: 5, IntStores: 2, ALU: 4, Branches: 2,
+			WorkingSetKB: 2048, Sequential: true,
+		}, 250000, 300),
+	}
+	return Suite{Name: "spec2017", Kernels: ks}
+}

@@ -1,0 +1,96 @@
+// Package workloads defines every benchmark program the evaluation
+// runs, written in the internal IR: the Sightglass micro-suite, the
+// SPEC CPU 2006 and 2017 stand-in kernels, the PolybenchC subset and
+// Dhrystone (WAMR's suites), Firefox's font-rendering and XML-parsing
+// library workloads, and the FaaS handlers of §6.4.3.
+//
+// SPEC sources cannot be shipped, so each SPEC entry is a synthetic
+// kernel calibrated to the benchmark's published character (memory-op
+// density, pointer chasing, floating-point share, branchiness, working
+// set); see DESIGN.md for why this preserves the paper's shape. Kernels
+// whose native builds benefit from 64-bit pointers (the
+// pointer-compression effect behind 429_mcf running faster under Wasm)
+// take a pointer-width parameter: Build(true) produces the native
+// variant with 8-byte links.
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Kernel is one benchmark program.
+type Kernel struct {
+	Name string
+
+	// Build constructs a fresh module. native selects the native
+	// variant (8-byte pointers where the kernel models pointer-heavy
+	// code); most kernels ignore it.
+	Build func(native bool) *ir.Module
+
+	// Entry is the exported function to invoke; it takes Args and
+	// returns an i32/i64 checksum.
+	Entry string
+
+	// Args are the benchmark-scale arguments; TestArgs are reduced
+	// sizes for differential testing.
+	Args     []uint64
+	TestArgs []uint64
+
+	// PtrSensitive marks kernels whose native variant differs (so
+	// harnesses know to build both).
+	PtrSensitive bool
+}
+
+// Suite is a named list of kernels.
+type Suite struct {
+	Name    string
+	Kernels []Kernel
+}
+
+// Find returns the kernel with the given name.
+func (s Suite) Find(name string) (Kernel, error) {
+	for _, k := range s.Kernels {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return Kernel{}, fmt.Errorf("workloads: no kernel %q in suite %s", name, s.Name)
+}
+
+// mustValidate builds and validates, panicking on kernel bugs (kernels
+// are static test fixtures; failing fast is right).
+func mustValidate(m *ir.Module) *ir.Module {
+	if err := m.Validate(); err != nil {
+		panic(fmt.Sprintf("workloads: %s: %v", m.Name, err))
+	}
+	return m
+}
+
+// u32c converts a uint32 constant to the int32 the builder takes,
+// avoiding compile-time constant-overflow errors.
+func u32c(v uint32) int32 { return int32(v) }
+
+// pages returns the page count covering n bytes.
+func pages(n uint64) uint32 {
+	return uint32((n + ir.PageSize - 1) / ir.PageSize)
+}
+
+// splitmix fills a deterministic pseudo-random byte buffer for kernel
+// input data segments.
+func splitmix(seed uint64, n int) []byte {
+	out := make([]byte, n)
+	x := seed
+	for i := 0; i < n; i += 8 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		for j := 0; j < 8 && i+j < n; j++ {
+			out[i+j] = byte(z >> (8 * j))
+		}
+	}
+	return out
+}

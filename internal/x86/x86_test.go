@@ -1,0 +1,193 @@
+package x86
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegNames(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		w    Width
+		want string
+	}{
+		{RAX, W64, "rax"},
+		{RAX, W32, "eax"},
+		{RBX, W8, "bl"},
+		{RSI, W8, "sil"},
+		{R10, W32, "r10d"},
+		{R15, W64, "r15"},
+		{R8, W16, "r8w"},
+	}
+	for _, c := range cases {
+		if got := c.r.Name(c.w); got != c.want {
+			t.Errorf("Reg(%d).Name(%d) = %q, want %q", c.r, c.w, got, c.want)
+		}
+	}
+}
+
+func TestCondNegate(t *testing.T) {
+	conds := []Cond{CondE, CondNE, CondL, CondLE, CondG, CondGE, CondB, CondBE, CondA, CondAE, CondS, CondNS}
+	for _, c := range conds {
+		if got := c.Negate().Negate(); got != c {
+			t.Errorf("double negation of %v = %v", c, got)
+		}
+		if c.Negate() == c {
+			t.Errorf("negation of %v is itself", c)
+		}
+	}
+}
+
+func TestMemString(t *testing.T) {
+	m := Mem{Seg: SegGS, Base: RCX, Index: RDX, Scale: 4, Disp: 8, Addr32: true}
+	if got, want := m.String(), "gs:[ecx + edx*4 + 0x8]"; got != want {
+		t.Errorf("Mem.String() = %q, want %q", got, want)
+	}
+	m2 := Mem{Base: RAX, Index: RBX, Scale: 1}
+	if got, want := m2.String(), "[rax + rbx]"; got != want {
+		t.Errorf("Mem.String() = %q, want %q", got, want)
+	}
+}
+
+func TestInstString(t *testing.T) {
+	// The two Segue patterns from Figure 1c of the paper.
+	i1 := Inst{Op: MOV, W: W64, Dst: R(R10), Src: M(Mem{Seg: SegGS, Base: RBX, Addr32: true})}
+	if got, want := i1.String(), "mov r10, gs:[ebx]"; got != want {
+		t.Errorf("pattern 1 = %q, want %q", got, want)
+	}
+	i2 := Inst{Op: MOV, W: W64, Dst: R(R11), Src: M(Mem{Seg: SegGS, Base: RCX, Index: RDX, Scale: 4, Disp: 8, Addr32: true})}
+	if got, want := i2.String(), "mov r11, gs:[ecx + edx*4 + 0x8]"; got != want {
+		t.Errorf("pattern 2 = %q, want %q", got, want)
+	}
+}
+
+func TestSeguePrefixCost(t *testing.T) {
+	// The classic SFI sequence: mov ebx, ebx ; mov r10, [rax + rbx].
+	trunc := Inst{Op: MOV, W: W32, Dst: R(RBX), Src: R(RBX)}
+	load := Inst{Op: MOV, W: W64, Dst: R(R10), Src: M(Mem{Base: RAX, Index: RBX, Scale: 1})}
+	classic := Len(trunc) + Len(load)
+
+	// Segue: a single gs:[ebx] load with segment + addr-size prefixes.
+	segue := Len(Inst{Op: MOV, W: W64, Dst: R(R10), Src: M(Mem{Seg: SegGS, Base: RBX, Addr32: true})})
+
+	if segue >= classic {
+		t.Errorf("Segue encoding (%d bytes) should be smaller than classic two-instruction form (%d bytes)", segue, classic)
+	}
+	// But the single Segue instruction must be longer than the plain
+	// load alone — the prefixes cost real bytes (the astar outlier).
+	plain := Len(Inst{Op: MOV, W: W64, Dst: R(R10), Src: M(Mem{Base: RBX})})
+	if segue <= plain {
+		t.Errorf("Segue load (%d bytes) should be longer than unprefixed load (%d bytes)", segue, plain)
+	}
+}
+
+func TestLenDispSizing(t *testing.T) {
+	base := Inst{Op: MOV, W: W64, Dst: R(RAX), Src: M(Mem{Base: RCX})}
+	d8 := base
+	d8.Src.Mem.Disp = 16
+	d32 := base
+	d32.Src.Mem.Disp = 4096
+	if Len(d8) != Len(base)+1 {
+		t.Errorf("disp8 should add 1 byte: base=%d disp8=%d", Len(base), Len(d8))
+	}
+	if Len(d32) != Len(base)+4 {
+		t.Errorf("disp32 should add 4 bytes: base=%d disp32=%d", Len(base), Len(d32))
+	}
+	// RBP base forces at least disp8.
+	rbp := Inst{Op: MOV, W: W64, Dst: R(RAX), Src: M(Mem{Base: RBP})}
+	if Len(rbp) != Len(base)+1 {
+		t.Errorf("rbp base should force disp8: %d vs %d", Len(rbp), Len(base))
+	}
+}
+
+func TestEncodeFuncOffsets(t *testing.T) {
+	insts := []Inst{
+		{Op: XOR, W: W64, Dst: R(RAX), Src: R(RAX)},  // 0
+		{Op: ADD, W: W64, Dst: R(RAX), Src: Imm(1)},  // 1
+		{Op: CMP, W: W64, Dst: R(RAX), Src: Imm(10)}, // 2
+		{Op: JCC, Cond: CondL, Dst: Label(1)},        // 3: loop back
+		{Op: RET},                                    // 4
+	}
+	image, offsets, total := EncodeFunc(insts)
+	if len(image) != total {
+		t.Fatalf("image length %d != total %d", len(image), total)
+	}
+	if offsets[len(insts)] != total {
+		t.Fatalf("final offset %d != total %d", offsets[len(insts)], total)
+	}
+	for k := 0; k < len(insts); k++ {
+		if offsets[k+1] <= offsets[k] {
+			t.Errorf("instruction %d has non-positive size", k)
+		}
+	}
+	// The backward branch is near, so it must have been shrunk to rel8.
+	if sz := offsets[4] - offsets[3]; sz != 2 {
+		t.Errorf("near backward jcc should be 2 bytes, got %d", sz)
+	}
+}
+
+func TestEncodeFuncLongBranch(t *testing.T) {
+	// A branch over >127 bytes of instructions must stay rel32.
+	var insts []Inst
+	insts = append(insts, Inst{Op: JMP, Dst: Label(60)})
+	for i := 0; i < 59; i++ {
+		// movabs: 10 bytes each.
+		insts = append(insts, Inst{Op: MOV, W: W64, Dst: R(RAX), Src: Imm(1 << 40)})
+	}
+	insts = append(insts, Inst{Op: RET})
+	_, offsets, _ := EncodeFunc(insts)
+	if sz := offsets[1] - offsets[0]; sz != 5 {
+		t.Errorf("far jmp should be 5 bytes, got %d", sz)
+	}
+}
+
+func TestLenPositiveQuick(t *testing.T) {
+	// Every representable non-branch instruction encodes to 1..16 bytes.
+	f := func(op uint16, w uint8, dr, sr uint8, disp int32, seg uint8, addr32 bool) bool {
+		o := Op(op % uint16(opCount))
+		if o == JMP || o == JCC {
+			return true
+		}
+		widths := []Width{W8, W16, W32, W64}
+		in := Inst{
+			Op:  o,
+			W:   widths[w%4],
+			Dst: R(Reg(dr % 16)),
+			Src: M(Mem{Seg: Seg(seg % 3), Base: Reg(sr % 16), Disp: disp, Addr32: addr32}),
+		}
+		n := Len(in)
+		return n >= 1 && n <= 16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeFuncImageMatchesOffsets(t *testing.T) {
+	f := func(seed int64) bool {
+		// Build a small random function and check image/offset agreement.
+		n := int(seed%13) + 3
+		if n < 3 {
+			n = 3
+		}
+		var insts []Inst
+		for i := 0; i < n; i++ {
+			switch (seed + int64(i)) % 4 {
+			case 0:
+				insts = append(insts, Inst{Op: ADD, W: W64, Dst: R(RAX), Src: R(RCX)})
+			case 1:
+				insts = append(insts, Inst{Op: MOV, W: W32, Dst: R(RDX), Src: Imm(seed)})
+			case 2:
+				insts = append(insts, Inst{Op: JMP, Dst: Label((i + 1) % n)})
+			default:
+				insts = append(insts, Inst{Op: MOV, W: W64, Dst: R(R9), Src: M(Mem{Seg: SegGS, Base: RBX, Addr32: true})})
+			}
+		}
+		insts = append(insts, Inst{Op: RET})
+		image, offsets, total := EncodeFunc(insts)
+		return len(image) == total && offsets[len(insts)] == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
