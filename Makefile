@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build test race vet bench-smoke bench results
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The engine and compile cache are the concurrent pieces; -race over
+# them doubles as the determinism gate (parallel vs serial tables).
+race:
+	$(GO) test -race ./internal/exp/... ./internal/rt/...
+
+vet:
+	$(GO) vet ./...
+
+# A fast end-to-end pass: one cheap experiment through the bench
+# harness and the quick benchtab path.
+bench-smoke:
+	$(GO) test -run TestMain -bench 'BenchmarkTransitionCost|BenchmarkScalingSlots' -benchtime 1x .
+	$(GO) run ./cmd/benchtab transition scaling
+
+# Full paper tables (several minutes).
+bench:
+	$(GO) test -bench . -benchtime 1x .
+
+# Regenerate BENCH_results.json with before/after timings for the
+# SPEC-suite experiments.
+results:
+	$(GO) run ./cmd/benchtab -compare -results BENCH_results.json -o /dev/null fig3 fig5 fig4 table2

@@ -13,10 +13,14 @@
 package repro
 
 import (
+	"flag"
 	"fmt"
+	"os"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/cpu"
 	"repro/internal/exp"
 	"repro/internal/ir"
 	"repro/internal/rt"
@@ -24,29 +28,64 @@ import (
 	"repro/internal/workloads"
 )
 
-// runExperiment executes the experiment once (cached across b.N
-// iterations — the experiments are deterministic) and prints its table.
+// -j sets the experiment engine's worker count (0 = all CPUs), e.g.
+// go test -bench=Fig3 -j 4
+var parallelFlag = flag.Int("j", 0, "experiment engine parallelism (0 = NumCPU)")
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	exp.SetParallelism(*parallelFlag)
+	// REPRO_SLOWPATH=1 runs every machine on the slow interpreter loop
+	// (the differential-testing oracle), for before/after comparisons.
+	if os.Getenv("REPRO_SLOWPATH") != "" {
+		cpu.SetForceSlowPath(true)
+	}
+	os.Exit(m.Run())
+}
+
+// expResult is one experiment's measured cost: the experiments are
+// deterministic, so each runs exactly once per process and the result
+// is cached for repeat benchmark iterations.
+type expResult struct {
+	text      string
+	wallSecs  float64
+	simCycles float64
+}
+
 var expCache sync.Map
 
+// runExperiment executes the experiment once, prints its table exactly
+// once, and reports the real per-run cost via metrics — wall-clock
+// seconds and simulated cycles — instead of timing b.N cache-hit
+// iterations that do no work.
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
 	e, ok := exp.ByID(id)
 	if !ok {
 		b.Fatalf("unknown experiment %q", id)
 	}
-	for i := 0; i < b.N; i++ {
-		if cached, ok := expCache.Load(id); ok {
-			_ = cached
-			continue
-		}
+	v, ok := expCache.Load(id)
+	if !ok {
+		exp.TakeSimCycles() // exclude cycles other experiments accumulated
+		start := time.Now()
 		t, err := e.Run()
 		if err != nil {
 			b.Fatalf("%s: %v", id, err)
 		}
-		expCache.Store(id, t)
+		r := expResult{
+			text:      t.Text(),
+			wallSecs:  time.Since(start).Seconds(),
+			simCycles: exp.TakeSimCycles(),
+		}
 		fmt.Println()
-		fmt.Print(t.Text())
+		fmt.Print(r.text)
+		v, _ = expCache.LoadOrStore(id, r)
 	}
+	r := v.(expResult)
+	b.ReportMetric(r.wallSecs, "wall-s/exp")
+	b.ReportMetric(r.simCycles, "sim-cycles/exp")
+	// b.N iterations did no additional work; zero the meaningless ns/op.
+	b.ReportMetric(0, "ns/op")
 }
 
 // --- Segue (§6.1–§6.3) ---

@@ -9,14 +9,37 @@
 // are applied by the CPU emulator, not here.
 package cache
 
+// lruAccess looks tag up in one set's ways, kept in recency order
+// (most recent first), and maintains that order: a hit rotates the way
+// to the front; a miss evicts the last way (the least recent — or an
+// empty slot while the set is filling, since empties sink to the back)
+// and inserts the tag at the front. This is exactly true LRU — the
+// recency ordering carries the same information as per-way timestamps —
+// but a hit near the front costs one or two comparisons instead of a
+// full scan over stamps, which is what the emulator pays per simulated
+// memory access.
+func lruAccess(w []uint64, tag uint64) bool {
+	if w[0] == tag {
+		return true
+	}
+	for i := 1; i < len(w); i++ {
+		if w[i] == tag {
+			copy(w[1:i+1], w[:i])
+			w[0] = tag
+			return true
+		}
+	}
+	copy(w[1:], w[:len(w)-1])
+	w[0] = tag
+	return false
+}
+
 // TLB is a set-associative translation lookaside buffer over 4 KiB
 // pages. The zero value is not usable; construct with NewTLB.
 type TLB struct {
 	sets     uint64
 	ways     int
-	tags     []uint64 // sets*ways entries; 0 = invalid (vpn+1 stored)
-	stamps   []uint64
-	clock    uint64
+	tags     []uint64 // sets*ways entries in recency order; 0 = invalid (vpn+1 stored)
 	pageBits uint
 
 	Hits    uint64
@@ -35,31 +58,29 @@ func NewTLB(entries, ways int) *TLB {
 	if sets&(sets-1) != 0 {
 		panic("cache: TLB set count must be a power of two")
 	}
-	return &TLB{sets: uint64(sets), ways: ways, tags: make([]uint64, entries), stamps: make([]uint64, entries), pageBits: 12}
+	return &TLB{sets: uint64(sets), ways: ways, tags: make([]uint64, entries), pageBits: 12}
 }
 
 // Access looks up the page containing vaddr, updating hit/miss counters
-// and LRU state. It returns true on a hit.
+// and LRU state. It returns true on a hit. The body checks only the
+// most-recent way so the function inlines into the emulator's memory
+// path; the full set scan lives in accessRest.
 func (t *TLB) Access(vaddr uint64) bool {
 	vpn := vaddr >> t.pageBits
-	set := vpn & (t.sets - 1)
-	base := int(set) * t.ways
-	t.clock++
-	tag := vpn + 1
-	victim, oldest := base, t.stamps[base]
-	for i := base; i < base+t.ways; i++ {
-		if t.tags[i] == tag {
-			t.stamps[i] = t.clock
-			t.Hits++
-			return true
-		}
-		if t.stamps[i] < oldest {
-			victim, oldest = i, t.stamps[i]
-		}
+	base := int(vpn&(t.sets-1)) * t.ways
+	if t.tags[base] == vpn+1 {
+		t.Hits++
+		return true
+	}
+	return t.accessRest(base, vpn+1)
+}
+
+func (t *TLB) accessRest(base int, tag uint64) bool {
+	if lruAccess(t.tags[base:base+t.ways], tag) {
+		t.Hits++
+		return true
 	}
 	t.Misses++
-	t.tags[victim] = tag
-	t.stamps[victim] = t.clock
 	return false
 }
 
@@ -68,7 +89,6 @@ func (t *TLB) Access(vaddr uint64) bool {
 func (t *TLB) Flush() {
 	for i := range t.tags {
 		t.tags[i] = 0
-		t.stamps[i] = 0
 	}
 	t.Flushes++
 }
@@ -83,9 +103,7 @@ type Cache struct {
 	lineBits uint
 	sets     uint64
 	ways     int
-	tags     []uint64
-	stamps   []uint64
-	clock    uint64
+	tags     []uint64 // sets*ways entries in recency order; 0 = invalid (line+1 stored)
 
 	Hits   uint64
 	Misses uint64
@@ -113,31 +131,29 @@ func NewCache(name string, sizeBytes, lineBytes, ways int) *Cache {
 		lb++
 	}
 	return &Cache{Name: name, lineBits: lb, sets: uint64(sets), ways: ways,
-		tags: make([]uint64, lines), stamps: make([]uint64, lines)}
+		tags: make([]uint64, lines)}
 }
 
 // Access looks up the line containing addr. It returns the number of
 // levels that missed (0 = L1 hit, 1 = L1 miss/L2 hit, 2 = missed both).
+// Like TLB.Access, the body checks only the most-recent way so it
+// inlines; the set scan and the recursion into Next live in accessRest.
 func (c *Cache) Access(addr uint64) int {
 	ln := addr >> c.lineBits
-	set := ln & (c.sets - 1)
-	base := int(set) * c.ways
-	c.clock++
-	tag := ln + 1
-	victim, oldest := base, c.stamps[base]
-	for i := base; i < base+c.ways; i++ {
-		if c.tags[i] == tag {
-			c.stamps[i] = c.clock
-			c.Hits++
-			return 0
-		}
-		if c.stamps[i] < oldest {
-			victim, oldest = i, c.stamps[i]
-		}
+	base := int(ln&(c.sets-1)) * c.ways
+	if c.tags[base] == ln+1 {
+		c.Hits++
+		return 0
+	}
+	return c.accessRest(base, ln+1, addr)
+}
+
+func (c *Cache) accessRest(base int, tag, addr uint64) int {
+	if lruAccess(c.tags[base:base+c.ways], tag) {
+		c.Hits++
+		return 0
 	}
 	c.Misses++
-	c.tags[victim] = tag
-	c.stamps[victim] = c.clock
 	if c.Next != nil {
 		return 1 + c.Next.Access(addr)
 	}
@@ -148,7 +164,6 @@ func (c *Cache) Access(addr uint64) int {
 func (c *Cache) Flush() {
 	for i := range c.tags {
 		c.tags[i] = 0
-		c.stamps[i] = 0
 	}
 	if c.Next != nil {
 		c.Next.Flush()
@@ -186,4 +201,31 @@ func NewHierarchy() *Hierarchy {
 func (h *Hierarchy) Flush() {
 	h.DTLB.Flush()
 	h.L1D.Flush()
+}
+
+// Access charges one data access at addr through the whole hierarchy
+// in a single call — the emulator pays this per simulated memory
+// access, so the dTLB and L1 most-recent-way checks are open-coded
+// here rather than going through TLB.Access and Cache.Access. It
+// returns the dTLB outcome and the number of cache levels missed,
+// with identical counter updates to calling the two lookups directly.
+func (h *Hierarchy) Access(addr uint64) (tlbHit bool, missLevels int) {
+	t := h.DTLB
+	vpn := addr >> t.pageBits
+	tb := int(vpn&(t.sets-1)) * t.ways
+	if t.tags[tb] == vpn+1 {
+		t.Hits++
+		tlbHit = true
+	} else {
+		tlbHit = t.accessRest(tb, vpn+1)
+	}
+	c := h.L1D
+	ln := addr >> c.lineBits
+	cb := int(ln&(c.sets-1)) * c.ways
+	if c.tags[cb] == ln+1 {
+		c.Hits++
+	} else {
+		missLevels = c.accessRest(cb, ln+1, addr)
+	}
+	return
 }

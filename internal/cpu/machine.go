@@ -4,11 +4,23 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/mem"
 	"repro/internal/x86"
 )
+
+// forceSlowPath, when set, makes NewMachine default new machines to the
+// slow interpreter loop. It lets benchmark drivers measure the fast
+// path's win process-wide without threading a flag through every
+// instantiation site.
+var forceSlowPath atomic.Bool
+
+// SetForceSlowPath toggles whether newly constructed Machines default to
+// the slow interpreter loop. Machines that already exist are unaffected;
+// per-machine SlowPath assignments still override the default.
+func SetForceSlowPath(on bool) { forceSlowPath.Store(on) }
 
 // ArgRegs is the internal calling convention's integer argument
 // registers (SysV order). Float arguments use xmm0..xmm5 by position.
@@ -62,8 +74,62 @@ type Machine struct {
 	// MaxCallDepth bounds the emulated call stack.
 	MaxCallDepth int
 
+	// Hosts is the machine's host-import table. NewMachine initializes
+	// it to the Program's (unbound) slots; runtimes that bind
+	// per-instance host implementations replace it with their own
+	// slice so the compiled Program stays immutable and shareable.
+	Hosts []HostFunc
+
+	// SlowPath forces the portable, switch-heavy interpreter loop that
+	// predates the predecoded fast path. The fast path is the default;
+	// the slow path is kept as the differential-testing oracle.
+	SlowPath bool
+
 	frames []frame
 	bpred  []uint8 // 2-bit bimodal predictor
+
+	// Per-machine opcode cost table, derived from Cost on first use
+	// and rebuilt whenever Cost changes (CostModel is comparable).
+	costTab    [opCostTabSize]float64
+	costTabFor CostModel
+	costTabOK  bool
+
+	// Per-instruction base costs (fetch + opcode class) for the
+	// predecoded program, precomputed so the fast path's hot loop
+	// replaces a float division and two table lookups per step with one
+	// slice read. Rebuilt when Cost changes.
+	dcost    [][]float64
+	dcostFor CostModel
+	dcostOK  bool
+
+	// mtc is the fast path's access-grant cache: per-page protection,
+	// pkey, and backing-page pointer, validated against the address
+	// space's mapping generation. It lets the fused load/store fast
+	// path skip the VMA walk and page-map hash on the hot path.
+	mtc    [mtcSize]mtcEntry
+	mtcGen uint64
+}
+
+// mtcSize is the number of direct-mapped access-grant entries (a
+// power of two).
+const mtcSize = 256
+
+type mtcEntry struct {
+	pnPlus1 uint64 // page number + 1; 0 = invalid
+	pg      *[mem.PageSize]byte
+	pkru    uint32 // PKRU value readOK/writeOK were evaluated under
+	readOK  bool
+	writeOK bool
+	prot    mem.Prot
+	pkey    uint8
+}
+
+// refreshPerms re-evaluates the entry's cached access verdicts under
+// the given PKRU value.
+func (e *mtcEntry) refreshPerms(pkru uint32) {
+	e.pkru = pkru
+	e.readOK = e.prot&mem.ProtRead != 0 && mem.PkeyAllowed(pkru, e.pkey, false)
+	e.writeOK = e.prot&mem.ProtWrite != 0 && mem.PkeyAllowed(pkru, e.pkey, true)
 }
 
 // NewMachine returns a machine bound to the given address space and
@@ -74,9 +140,49 @@ func NewMachine(as *mem.AS, prog *Program) *Machine {
 		Hier:         cache.NewHierarchy(),
 		Cost:         DefaultCostModel(),
 		Prog:         prog,
+		Hosts:        prog.Hosts,
+		SlowPath:     forceSlowPath.Load(),
 		MaxCallDepth: 10000,
 		bpred:        make([]uint8, 1<<14),
 	}
+}
+
+// opCostTabSize covers every defined opcode.
+const opCostTabSize = x86.OpCount
+
+// opCosts returns the per-opcode base-cost table for the machine's
+// current cost model, rebuilding it if Cost changed since the last run.
+func (m *Machine) opCosts() *[opCostTabSize]float64 {
+	if !m.costTabOK || m.costTabFor != m.Cost {
+		for op := 0; op < opCostTabSize; op++ {
+			m.costTab[op] = m.Cost.opCost(x86.Op(op))
+		}
+		m.costTabFor = m.Cost
+		m.costTabOK = true
+	}
+	return &m.costTab
+}
+
+// instCosts returns per-instruction base costs for the decoded program:
+// dcost[fn][pc] = fetch cost + opcode cost, computed with the exact
+// expression runSlow evaluates per step, so accumulating the
+// precomputed sum is bit-identical to computing it inline.
+func (m *Machine) instCosts(dec []decFunc) [][]float64 {
+	if m.dcostOK && m.dcostFor == m.Cost && len(m.dcost) == len(dec) {
+		return m.dcost
+	}
+	costs := m.opCosts()
+	out := make([][]float64, len(dec))
+	for fi := range dec {
+		insts := dec[fi].insts
+		cs := make([]float64, len(insts))
+		for i := range insts {
+			cs[i] = float64(insts[i].ilen)/m.Cost.FetchBytesPerCycle + costs[insts[i].op]
+		}
+		out[fi] = cs
+	}
+	m.dcost, m.dcostFor, m.dcostOK = out, m.Cost, true
+	return out
 }
 
 // Running reports whether a call is in progress (after an epoch trap).
@@ -171,10 +277,11 @@ func (m *Machine) memCost(addr uint64, write bool) {
 	} else {
 		m.Stats.MemReads++
 	}
-	if !m.Hier.DTLB.Access(addr) {
+	tlbHit, missLevels := m.Hier.Access(addr)
+	if !tlbHit {
 		m.Stats.Cycles += m.Cost.TLBMiss
 	}
-	switch m.Hier.L1D.Access(addr) {
+	switch missLevels {
 	case 0:
 	case 1:
 		m.Stats.Cycles += m.Cost.L2Hit
@@ -204,22 +311,28 @@ func (m *Machine) store(addr uint64, size int, v uint64) error {
 
 func widthBits(w x86.Width) uint { return uint(w) * 8 }
 
-func maskW(v uint64, w x86.Width) uint64 {
-	switch w {
-	case x86.W8:
-		return v & 0xFF
-	case x86.W16:
-		return v & 0xFFFF
-	case x86.W32:
-		return v & 0xFFFFFFFF
-	default:
-		return v
+// wmask maps an operand width (in bytes, so indexes 1/2/4/8/16 are
+// live) to its value mask; unused indexes keep all bits so maskW stays
+// the identity there, like the old switch's default arm. Sized and
+// indexed so `wmask[w&31]` needs no bounds check.
+var wmask = func() (t [32]uint64) {
+	for i := range t {
+		t[i] = ^uint64(0)
 	}
-}
+	t[x86.W8], t[x86.W16], t[x86.W32] = 0xFF, 0xFFFF, 0xFFFFFFFF
+	return
+}()
 
-func signBit(v uint64, w x86.Width) bool {
-	return v>>(widthBits(w)-1)&1 != 0
-}
+func maskW(v uint64, w x86.Width) uint64 { return v & wmask[w&31] }
+
+// sbmask maps a width to its sign-bit mask (zero for the indexes no
+// integer op uses, where the old shift form also yielded false).
+var sbmask = func() (t [32]uint64) {
+	t[x86.W8], t[x86.W16], t[x86.W32], t[x86.W64] = 1<<7, 1<<15, 1<<31, 1<<63
+	return
+}()
+
+func signBit(v uint64, w x86.Width) bool { return v&sbmask[w&31] != 0 }
 
 func signExtend(v uint64, w x86.Width) uint64 {
 	switch w {
@@ -285,21 +398,27 @@ func (m *Machine) setFlagsLogic(res uint64, w x86.Width) {
 	m.of = false
 }
 
+// The flag helpers are written against the width tables directly (not
+// maskW/signBit) to fit the inliner budget: they run once per ALU
+// instruction. The overflow test only reads the sign-bit position,
+// which masking the operands cannot change, so b stays unmasked in
+// setFlagsAdd.
 func (m *Machine) setFlagsAdd(a, b, res uint64, w x86.Width) {
-	a, b, res = maskW(a, w), maskW(b, w), maskW(res, w)
+	k := wmask[w&31]
+	a, res = a&k, res&k
 	m.zf = res == 0
-	m.sf = signBit(res, w)
+	m.sf = res&sbmask[w&31] != 0
 	m.cf = res < a
-	m.of = signBit(^(a^b)&(a^res), w)
-	_ = b
+	m.of = ^(a^b)&(a^res)&sbmask[w&31] != 0
 }
 
 func (m *Machine) setFlagsSub(a, b, res uint64, w x86.Width) {
-	a, b, res = maskW(a, w), maskW(b, w), maskW(res, w)
+	k := wmask[w&31]
+	a, b, res = a&k, b&k, res&k
 	m.zf = res == 0
-	m.sf = signBit(res, w)
+	m.sf = res&sbmask[w&31] != 0
 	m.cf = a < b
-	m.of = signBit((a^b)&(a^res), w)
+	m.of = (a^b)&(a^res)&sbmask[w&31] != 0
 }
 
 // cond evaluates a condition code against the flags.
@@ -357,7 +476,22 @@ func (m *Machine) predictBranch(fn, pc int, taken bool) {
 // Run executes until the outermost function returns, a trap occurs, or
 // the epoch deadline fires. After a resumable TrapEpoch, calling Run
 // again continues execution.
+//
+// Execution uses the predecoded fast path by default; set SlowPath to
+// force the original portable loop (the differential-testing oracle).
+// Both paths produce bit-identical architectural state and Stats.
 func (m *Machine) Run() error {
+	if m.SlowPath {
+		return m.runSlow()
+	}
+	return m.runFast()
+}
+
+// runSlow is the original interpreter loop: operand kinds, segment
+// bases, and encoded lengths are re-resolved on every step. It is kept
+// as the oracle the predecoded fast path is differentially tested
+// against.
+func (m *Machine) runSlow() error {
 	for len(m.frames) > 0 {
 		fr := &m.frames[len(m.frames)-1]
 		f := m.Prog.Funcs[fr.fn]
@@ -667,11 +801,11 @@ func (m *Machine) Run() error {
 			continue
 		case x86.CALLHOST:
 			idx := int(in.Dst.Imm)
-			if idx < 0 || idx >= len(m.Prog.Hosts) {
+			if idx < 0 || idx >= len(m.Hosts) {
 				return fmt.Errorf("cpu: host index %d out of range", idx)
 			}
 			fr.pc = next
-			if err := m.Prog.Hosts[idx](m); err != nil {
+			if err := m.Hosts[idx](m); err != nil {
 				return err
 			}
 			continue

@@ -357,7 +357,7 @@ func TestHostCall(t *testing.T) {
 	}}
 	f.Encode()
 	m, _ := testEnv(t, f)
-	m.Prog.Hosts = []HostFunc{func(m *Machine) error {
+	m.Hosts = []HostFunc{func(m *Machine) error {
 		m.Regs[x86.RAX] = m.Regs[x86.RDI] * 10
 		return nil
 	}}

@@ -8,6 +8,7 @@ package cpu
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/x86"
 )
@@ -51,7 +52,11 @@ const NullTableEntry = -1
 type HostFunc func(m *Machine) error
 
 // Program is a compiled module image: functions, the indirect-call
-// table, and bound host imports.
+// table, and host-import slots. After compilation a Program is
+// immutable — runtimes bind per-instance host implementations into
+// Machine.Hosts, never into Program.Hosts — so one compiled Program is
+// safely shared by any number of concurrent Machines (the module-
+// compile cache in internal/rt relies on this).
 type Program struct {
 	Funcs []*Func
 	Table []TableEntry
@@ -59,6 +64,11 @@ type Program struct {
 
 	// HostNames parallels Hosts, for diagnostics.
 	HostNames []string
+
+	// Predecoded fast-path form, built lazily once and shared by all
+	// Machines executing this Program.
+	decOnce sync.Once
+	dec     []decFunc
 }
 
 // FuncByName returns the index of the named function, or -1.

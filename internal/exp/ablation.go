@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"repro/internal/ir"
 	"repro/internal/pool"
 	"repro/internal/report"
 	"repro/internal/rt"
@@ -16,10 +17,6 @@ import (
 // truncation).
 func AblationSegueParts() (*report.Table, error) {
 	k, err := workloads.Spec2006().Find("464_h264ref")
-	if err != nil {
-		return nil, err
-	}
-	base, err := MeasureKernel(k, sfi.DefaultConfig(sfi.ModeNative), k.Args)
 	if err != nil {
 		return nil, err
 	}
@@ -50,11 +47,17 @@ func AblationSegueParts() (*report.Table, error) {
 		Headers: []string{"configuration", "normalized", "insts", "code bytes"},
 		Notes:   []string{"each step recovers part of the gap to native (1.0)"},
 	}
+	cells := []cell{{k, sfi.DefaultConfig(sfi.ModeNative), k.Args}}
 	for _, c := range cfgs {
-		m, err := MeasureKernel(k, c.cfg, k.Args)
-		if err != nil {
-			return nil, err
-		}
+		cells = append(cells, cell{k, c.cfg, k.Args})
+	}
+	ms, errs := measureCells(cells)
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	base := ms[0]
+	for i, c := range cfgs {
+		m := ms[i+1]
 		t.AddRow(c.name, report.Norm(m.Cycles/base.Cycles), fmt.Sprintf("%d", m.Insts), fmt.Sprintf("%d", m.CodeBytes))
 	}
 	return t, nil
@@ -69,24 +72,18 @@ func AblationGuardGeometry() (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	base, err := MeasureKernel(k, sfi.DefaultConfig(sfi.ModeNative), k.Args)
-	if err != nil {
-		return nil, err
-	}
-	guard, err := MeasureKernel(k, sfi.DefaultConfig(sfi.ModeGuard), k.Args)
-	if err != nil {
-		return nil, err
-	}
 	signedCfg := sfi.DefaultConfig(sfi.ModeGuard)
 	signedCfg.SignedOffset = true
-	signed, err := MeasureKernel(k, signedCfg, k.Args)
-	if err != nil {
+	ms, errs := measureCells([]cell{
+		{k, sfi.DefaultConfig(sfi.ModeNative), k.Args},
+		{k, sfi.DefaultConfig(sfi.ModeGuard), k.Args},
+		{k, signedCfg, k.Args},
+		{k, sfi.DefaultConfig(sfi.ModeBoundsCheck), k.Args},
+	})
+	if err := firstErr(errs); err != nil {
 		return nil, err
 	}
-	bounds, err := MeasureKernel(k, sfi.DefaultConfig(sfi.ModeBoundsCheck), k.Args)
-	if err != nil {
-		return nil, err
-	}
+	base, guard, signed, bounds := ms[0], ms[1], ms[2], ms[3]
 
 	budget := uint64(85) << 40
 	slots := func(guardB, pre uint64) int {
@@ -150,7 +147,9 @@ func AblationFSGSBASE() (*report.Table, error) {
 		return nil, err
 	}
 	measure := func(fsgsbase bool) (float64, error) {
-		mod, err := rt.CompileModule(k.Build(false), sfi.DefaultConfig(sfi.ModeSegue))
+		mod, err := rt.CompileModuleCached(
+			rt.ModuleKey{Name: k.Name, Cfg: sfi.DefaultConfig(sfi.ModeSegue)},
+			func() *ir.Module { return k.Build(false) })
 		if err != nil {
 			return 0, err
 		}
@@ -164,16 +163,14 @@ func AblationFSGSBASE() (*report.Table, error) {
 				return 0, err
 			}
 		}
+		addSimCycles(inst.Mach.Stats.Cycles)
 		return inst.Mach.Stats.Nanos(&inst.Mach.Cost) / glyphs, nil
 	}
-	fast, err := measure(true)
-	if err != nil {
+	res, errs := parallelMap([]bool{true, false}, measure)
+	if err := firstErr(errs); err != nil {
 		return nil, err
 	}
-	slow, err := measure(false)
-	if err != nil {
-		return nil, err
-	}
+	fast, slow := res[0], res[1]
 	t := &report.Table{
 		ID: "ablation-fsgsbase", Title: "Per-glyph cost: FSGSBASE vs arch_prctl segment writes",
 		Headers: []string{"segment-write path", "ns/glyph"},

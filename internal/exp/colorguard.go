@@ -32,7 +32,9 @@ func nopModule() *ir.Module {
 // with ColorGuard's PKRU switch.
 func TransitionCost() (*report.Table, error) {
 	measure := func(pkey uint8) (float64, error) {
-		mod, err := rt.CompileModule(nopModule(), sfi.DefaultConfig(sfi.ModeSegue))
+		mod, err := rt.CompileModuleCached(
+			rt.ModuleKey{Name: "nop", Cfg: sfi.DefaultConfig(sfi.ModeSegue)},
+			nopModule)
 		if err != nil {
 			return 0, err
 		}
@@ -46,18 +48,16 @@ func TransitionCost() (*report.Table, error) {
 				return 0, err
 			}
 		}
+		addSimCycles(inst.Mach.Stats.Cycles)
 		// Two transitions (in+out) per invoke; subtract the function
 		// body by measuring the whole and dividing per transition.
 		return inst.Mach.Stats.Nanos(&inst.Mach.Cost) / (2 * reps), nil
 	}
-	plain, err := measure(0)
-	if err != nil {
+	res, errs := parallelMap([]uint8{0, 5}, measure)
+	if err := firstErr(errs); err != nil {
 		return nil, err
 	}
-	cg, err := measure(5)
-	if err != nil {
-		return nil, err
-	}
+	plain, cg := res[0], res[1]
 	t := &report.Table{
 		ID: "transition", Title: "Per-transition cost (§6.4.1)",
 		Headers: []string{"configuration", "ns/transition"},
@@ -119,17 +119,23 @@ func faasWorkloads() ([]faas.Workload, error) {
 		{"hash-load-balance", 256, 40},
 		{"regex-filtering", 280, 48},
 	}
-	var out []faas.Workload
-	for _, d := range defs {
+	out, errs := parallelMap(defs, func(d struct {
+		kernel string
+		batch  uint64
+		pages  int
+	}) (faas.Workload, error) {
 		k, err := workloads.FaaS().Find(d.kernel)
 		if err != nil {
-			return nil, err
+			return faas.Workload{}, err
 		}
 		m, err := MeasureKernel(k, sfi.DefaultConfig(sfi.ModeSegue), []uint64{d.batch})
 		if err != nil {
-			return nil, err
+			return faas.Workload{}, err
 		}
-		out = append(out, faas.Workload{Name: d.kernel, ComputeNs: m.Nanos, Pages: d.pages})
+		return faas.Workload{Name: d.kernel, ComputeNs: m.Nanos, Pages: d.pages}, nil
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -146,14 +152,21 @@ func Fig6Throughput() (*report.Table, error) {
 		Headers: []string{"processes", ws[0].Name, ws[1].Name, ws[2].Name},
 		Notes:   []string{"paper: gain grows with process count, up to ≈29%"},
 	}
-	for _, n := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15} {
-		row := []string{fmt.Sprintf("%d", n)}
-		for _, w := range ws {
-			gain, _, _ := faas.GainVsMultiprocess(w, n)
-			row = append(row, fmt.Sprintf("%.1f", gain))
-		}
-		t.Rows = append(t.Rows, row)
+	// Each process count is an independent pair of simulations; build
+	// the rows in parallel and append them in order.
+	rows, errs := parallelMap([]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
+		func(n int) ([]string, error) {
+			row := []string{fmt.Sprintf("%d", n)}
+			for _, w := range ws {
+				gain, _, _ := faas.GainVsMultiprocess(w, n)
+				row = append(row, fmt.Sprintf("%.1f", gain))
+			}
+			return row, nil
+		})
+	if err := firstErr(errs); err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	return t, nil
 }
 
@@ -184,18 +197,23 @@ func fig7(switches bool) (*report.Table, error) {
 	for _, w := range ws {
 		t.Headers = append(t.Headers, w.Name+" (mp)", w.Name+" (cg)")
 	}
-	for _, n := range []int{1, 3, 5, 7, 9, 11, 13, 15} {
-		row := []string{fmt.Sprintf("%d", n)}
-		for _, w := range ws {
-			_, cg, mp := faas.GainVsMultiprocess(w, n)
-			if switches {
-				row = append(row, fmt.Sprintf("%.1fK", float64(mp.CtxSwitches)/1e3), fmt.Sprintf("%.1fK", float64(cg.CtxSwitches)/1e3))
-			} else {
-				row = append(row, fmt.Sprintf("%.2fM", float64(mp.DTLBMisses)/1e6), fmt.Sprintf("%.2fM", float64(cg.DTLBMisses)/1e6))
+	rows, errs := parallelMap([]int{1, 3, 5, 7, 9, 11, 13, 15},
+		func(n int) ([]string, error) {
+			row := []string{fmt.Sprintf("%d", n)}
+			for _, w := range ws {
+				_, cg, mp := faas.GainVsMultiprocess(w, n)
+				if switches {
+					row = append(row, fmt.Sprintf("%.1fK", float64(mp.CtxSwitches)/1e3), fmt.Sprintf("%.1fK", float64(cg.CtxSwitches)/1e3))
+				} else {
+					row = append(row, fmt.Sprintf("%.2fM", float64(mp.DTLBMisses)/1e6), fmt.Sprintf("%.2fM", float64(cg.DTLBMisses)/1e6))
+				}
 			}
-		}
-		t.Rows = append(t.Rows, row)
+			return row, nil
+		})
+	if err := firstErr(errs); err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	return t, nil
 }
 

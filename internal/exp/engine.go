@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sfi"
+	"repro/internal/workloads"
+)
+
+// The parallel experiment engine. Experiments decompose into
+// independent cells — one (kernel, config, args) measurement each; a
+// worker pool fans the cells across CPUs and results are collected in
+// cell order, so every table, checksum cross-check, and error is
+// byte-identical to a serial run. Cells are independent by
+// construction: each measurement runs on a fresh rt.Instance (own
+// address space, own machine), and the only shared state — the module
+// compile cache and the sim-cycle counter — is concurrency-safe.
+
+// parallelismOverride holds the configured worker count; 0 means
+// runtime.NumCPU().
+var parallelismOverride atomic.Int64
+
+// SetParallelism sets the engine's worker count. n <= 0 restores the
+// default of runtime.NumCPU(). The root bench harness and cmd/benchtab
+// expose this as -j.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelismOverride.Store(int64(n))
+}
+
+// Parallelism returns the effective worker count.
+func Parallelism() int {
+	if n := parallelismOverride.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.NumCPU()
+}
+
+// parallelMap applies f to every item on the engine's worker pool and
+// returns the results and errors indexed like items. Every item runs
+// even when another fails, so callers can walk the error slice in
+// serial-iteration order and report exactly the error a serial run
+// would have hit first, independent of goroutine scheduling.
+func parallelMap[T, R any](items []T, f func(T) (R, error)) ([]R, []error) {
+	n := len(items)
+	res := make([]R, n)
+	errs := make([]error, n)
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range items {
+			res[i], errs[i] = f(items[i])
+		}
+		return res, errs
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				res[i], errs[i] = f(items[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return res, errs
+}
+
+// firstErr returns the lowest-index non-nil error.
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cell is one experiment measurement: a kernel under a configuration.
+type cell struct {
+	Kernel workloads.Kernel
+	Cfg    sfi.Config
+	Args   []uint64
+}
+
+// measureCells measures every cell across the worker pool, results in
+// cell order.
+func measureCells(cells []cell) ([]Measurement, []error) {
+	return parallelMap(cells, func(c cell) (Measurement, error) {
+		return MeasureKernel(c.Kernel, c.Cfg, c.Args)
+	})
+}

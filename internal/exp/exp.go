@@ -7,9 +7,12 @@ package exp
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/cpu"
+	"repro/internal/ir"
 	"repro/internal/report"
 	"repro/internal/rt"
 	"repro/internal/sfi"
@@ -28,11 +31,36 @@ type Measurement struct {
 	Transitions  uint64
 }
 
+// simCycleBits accumulates simulated cycles across all measurements
+// (float64 bits, CAS-updated so parallel cells can add concurrently).
+var simCycleBits atomic.Uint64
+
+func addSimCycles(c float64) {
+	for {
+		old := simCycleBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + c)
+		if simCycleBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// TakeSimCycles returns the simulated cycles accumulated by all
+// measurements since the last call, resetting the counter. The bench
+// harness and cmd/benchtab report this next to wall-clock time.
+func TakeSimCycles() float64 { return math.Float64frombits(simCycleBits.Swap(0)) }
+
 // MeasureKernel compiles and runs a kernel under cfg with the given
-// arguments, on a fresh instance.
+// arguments, on a fresh instance. Compiled modules come from the
+// rt compile cache (kernel names are unique across suites), so repeated
+// measurements of one (kernel, config) cell skip recompilation;
+// instances and machines are always fresh, keeping cells independent.
 func MeasureKernel(k workloads.Kernel, cfg sfi.Config, args []uint64) (Measurement, error) {
 	native := cfg.Mode == sfi.ModeNative
-	mod, err := rt.CompileModule(k.Build(native && k.PtrSensitive), cfg)
+	variant := native && k.PtrSensitive
+	mod, err := rt.CompileModuleCached(
+		rt.ModuleKey{Name: k.Name, Variant: variant, Cfg: cfg},
+		func() *ir.Module { return k.Build(variant) })
 	if err != nil {
 		return Measurement{}, fmt.Errorf("exp: %s/%v: %w", k.Name, cfg.Mode, err)
 	}
@@ -44,6 +72,7 @@ func MeasureKernel(k workloads.Kernel, cfg sfi.Config, args []uint64) (Measureme
 	if err != nil {
 		return Measurement{}, fmt.Errorf("exp: %s/%v: %w", k.Name, cfg.Mode, err)
 	}
+	addSimCycles(inst.Mach.Stats.Cycles)
 	m := Measurement{
 		Cycles:       inst.Mach.Stats.Cycles,
 		Nanos:        inst.Mach.Stats.Nanos(&inst.Mach.Cost),
@@ -69,20 +98,37 @@ func normalizedSuite(suite workloads.Suite, configs []sfi.Config, names []string
 // normalizedSuiteVs is normalizedSuite with an explicit native baseline
 // configuration (the WAMR experiments use a vectorizing native
 // baseline, since clang vectorizes the same loops).
+//
+// Measurements fan out over the parallel engine; cells are laid out in
+// serial execution order (per kernel: baseline, then each config) and
+// results are collected in that order, so the table, the checksum
+// cross-checks, and any reported error match a serial run exactly.
 func normalizedSuiteVs(suite workloads.Suite, baseCfg sfi.Config, configs []sfi.Config, names []string) (*report.Table, []map[string]float64, error) {
+	cells := make([]cell, 0, len(suite.Kernels)*(1+len(configs)))
+	for _, k := range suite.Kernels {
+		cells = append(cells, cell{k, baseCfg, k.Args})
+		for _, cfg := range configs {
+			cells = append(cells, cell{k, cfg, k.Args})
+		}
+	}
+	ms, errs := measureCells(cells)
+
 	t := &report.Table{Headers: append([]string{"benchmark"}, names...)}
 	norms := make([]map[string]float64, len(configs))
 	for i := range norms {
 		norms[i] = map[string]float64{}
 	}
+	i := 0
 	for _, k := range suite.Kernels {
-		base, err := MeasureKernel(k, baseCfg, k.Args)
+		base, err := ms[i], errs[i]
+		i++
 		if err != nil {
 			return nil, nil, err
 		}
 		row := []string{k.Name}
-		for ci, cfg := range configs {
-			m, err := MeasureKernel(k, cfg, k.Args)
+		for ci := range configs {
+			m, err := ms[i], errs[i]
+			i++
 			if err != nil {
 				return nil, nil, err
 			}
@@ -96,14 +142,11 @@ func normalizedSuiteVs(suite workloads.Suite, baseCfg sfi.Config, configs []sfi.
 		}
 		t.Rows = append(t.Rows, row)
 	}
-	// Geomean row.
+	// Geomean row (sorted-key fold, so the float accumulation order is
+	// deterministic).
 	row := []string{"geomean"}
 	for ci := range configs {
-		var vals []float64
-		for _, v := range norms[ci] {
-			vals = append(vals, v)
-		}
-		row = append(row, report.Norm(stats.Geomean(vals)))
+		row = append(row, report.Norm(geomeanOf(norms[ci])))
 	}
 	t.Rows = append(t.Rows, row)
 	return t, norms, nil
@@ -178,7 +221,9 @@ func ByID(id string) (Experiment, bool) {
 // instanceStats is a helper for experiments needing machine counters
 // beyond MeasureKernel's summary.
 func runOnInstance(k workloads.Kernel, cfg sfi.Config, opts rt.InstanceOptions, args []uint64) (*rt.Instance, error) {
-	mod, err := rt.CompileModule(k.Build(false), cfg)
+	mod, err := rt.CompileModuleCached(
+		rt.ModuleKey{Name: k.Name, Cfg: cfg},
+		func() *ir.Module { return k.Build(false) })
 	if err != nil {
 		return nil, err
 	}
@@ -189,6 +234,7 @@ func runOnInstance(k workloads.Kernel, cfg sfi.Config, opts rt.InstanceOptions, 
 	if _, err := inst.Invoke(k.Entry, args...); err != nil {
 		return nil, err
 	}
+	addSimCycles(inst.Mach.Stats.Cycles)
 	return inst, nil
 }
 

@@ -127,14 +127,21 @@ func Table2BinarySize() (*report.Table, error) {
 		Headers: []string{"benchmark", "wasm2c", "wasm2c+segue", "reduction"},
 		Notes:   []string{"paper: median reduction 5.9%, max 12.3%"},
 	}
+	kernels := workloads.Spec2006().Kernels
+	var cells []cell
+	for _, k := range kernels {
+		cells = append(cells,
+			cell{k, sfi.DefaultConfig(sfi.ModeGuard), k.TestArgs},
+			cell{k, sfi.DefaultConfig(sfi.ModeSegue), k.TestArgs})
+	}
+	ms, errs := measureCells(cells)
 	var reductions []float64
-	for _, k := range workloads.Spec2006().Kernels {
-		g, err := MeasureKernel(k, sfi.DefaultConfig(sfi.ModeGuard), k.TestArgs)
-		if err != nil {
+	for i, k := range kernels {
+		g, s := ms[2*i], ms[2*i+1]
+		if err := errs[2*i]; err != nil {
 			return nil, err
 		}
-		s, err := MeasureKernel(k, sfi.DefaultConfig(sfi.ModeSegue), k.TestArgs)
-		if err != nil {
+		if err := errs[2*i+1]; err != nil {
 			return nil, err
 		}
 		red := 1 - float64(s.CodeBytes)/float64(g.CodeBytes)
@@ -155,7 +162,9 @@ func firefoxTimes(kernelName, entry string, calls int, arg uint64) (*report.Tabl
 		return nil, err
 	}
 	measure := func(cfg sfi.Config) (float64, error) {
-		mod, err := rt.CompileModule(k.Build(false), cfg)
+		mod, err := rt.CompileModuleCached(
+			rt.ModuleKey{Name: k.Name, Cfg: cfg},
+			func() *ir.Module { return k.Build(false) })
 		if err != nil {
 			return 0, err
 		}
@@ -172,20 +181,20 @@ func firefoxTimes(kernelName, entry string, calls int, arg uint64) (*report.Tabl
 				return 0, err
 			}
 		}
+		addSimCycles(inst.Mach.Stats.Cycles)
 		return inst.Mach.Stats.Nanos(&inst.Mach.Cost), nil
 	}
-	nat, err := measure(sfi.DefaultConfig(sfi.ModeNative))
-	if err != nil {
+	// The three configurations are independent single-instance runs; fan
+	// them out over the engine.
+	res, errs := parallelMap([]sfi.Config{
+		sfi.DefaultConfig(sfi.ModeNative),
+		sfi.DefaultConfig(sfi.ModeGuard),
+		sfi.DefaultConfig(sfi.ModeSegue),
+	}, measure)
+	if err := firstErr(errs); err != nil {
 		return nil, err
 	}
-	guard, err := measure(sfi.DefaultConfig(sfi.ModeGuard))
-	if err != nil {
-		return nil, err
-	}
-	segue, err := measure(sfi.DefaultConfig(sfi.ModeSegue))
-	if err != nil {
-		return nil, err
-	}
+	nat, guard, segue := res[0], res[1], res[2]
 	t := &report.Table{
 		Headers: []string{"configuration", "time (simulated ms, scaled)", "overhead vs native"},
 	}

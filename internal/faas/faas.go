@@ -115,14 +115,15 @@ type task struct {
 // ioHeap orders tasks by IO completion.
 type ioHeap []*task
 
-func (h ioHeap) Len() int            { return len(h) }
-func (h ioHeap) Less(i, j int) bool  { return h[i].readyAt < h[j].readyAt }
-func (h ioHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *ioHeap) Push(x interface{}) { *h = append(*h, x.(*task)) }
-func (h *ioHeap) Pop() interface{} {
+func (h ioHeap) Len() int           { return len(h) }
+func (h ioHeap) Less(i, j int) bool { return h[i].readyAt < h[j].readyAt }
+func (h ioHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *ioHeap) Push(x any)        { *h = append(*h, x.(*task)) }
+func (h *ioHeap) Pop() any {
 	old := *h
 	n := len(old)
 	t := old[n-1]
+	old[n-1] = nil // release the reference so the task can be collected
 	*h = old[:n-1]
 	return t
 }

@@ -77,6 +77,19 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
+// BenchmarkRun measures the cost of one full simulation run (the unit
+// of work Fig6Throughput fans out 45 times and fig7 16 times).
+func BenchmarkRun(b *testing.B) {
+	cfg := DefaultConfig(testWorkload, 8, false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := Run(cfg)
+		if r.Completed == 0 {
+			b.Fatal("nothing completed")
+		}
+	}
+}
+
 // TestUnderLoad: when offered load is far below capacity, both
 // strategies complete everything and the gain vanishes.
 func TestUnderLoad(t *testing.T) {

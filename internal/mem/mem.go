@@ -12,6 +12,7 @@
 package mem
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
@@ -113,6 +114,18 @@ type AS struct {
 	// lastVMA caches the index of the most recently hit VMA, since
 	// emulated access streams have high locality.
 	lastVMA int
+
+	// lastPage caches the most recently touched backing page, skipping
+	// the page-map lookup (and its hash) for the common case of
+	// consecutive accesses to one page. Invalidated whenever backing
+	// pages are released.
+	lastPN   uint64
+	lastPage *[PageSize]byte
+
+	// gen counts mapping mutations (mmap, munmap, mprotect, madvise).
+	// External caches of per-page permissions or backing pages — the
+	// emulator's access-grant cache — revalidate against it.
+	gen uint64
 }
 
 // NewAS returns an address space with the given number of virtual
@@ -131,6 +144,20 @@ func NewAS(bits uint8) *AS {
 
 // Bits returns the user address-space width in bits.
 func (a *AS) Bits() uint8 { return a.bits }
+
+// Gen returns the mapping generation: it changes whenever a mutation
+// could invalidate externally cached per-page permissions or backing
+// pages. Caches holding a page pointer or a (prot, pkey) grant must
+// drop their entries when the generation moves.
+func (a *AS) Gen() uint64 { return a.gen }
+
+// PageFor returns the backing page containing addr, allocating it when
+// alloc is set. A nil return (without alloc) means the page is
+// untouched and reads as zero. Callers must have validated the access;
+// this is the emulator fast path's direct line to page memory.
+func (a *AS) PageFor(addr uint64, alloc bool) *[PageSize]byte {
+	return a.page(addr, alloc)
+}
 
 // Size returns the total user address-space size in bytes.
 func (a *AS) Size() uint64 { return a.limit }
@@ -185,6 +212,7 @@ func (a *AS) Mmap(addr, length uint64, prot Prot) error {
 	copy(a.vmas[i+1:], a.vmas[i:])
 	a.vmas[i] = VMA{Start: addr, End: addr + length, Prot: prot}
 	a.coalesceAround(i)
+	a.gen++
 	return nil
 }
 
@@ -237,6 +265,7 @@ func (a *AS) Munmap(addr, length uint64) error {
 	}
 	a.vmas = out
 	a.lastVMA = 0
+	a.gen++
 	return nil
 }
 
@@ -295,6 +324,7 @@ func (a *AS) protect(addr, length uint64, prot Prot, pkey *uint8) error {
 	if first >= 0 {
 		a.coalesceAround(first)
 	}
+	a.gen++
 	return nil
 }
 
@@ -342,6 +372,7 @@ func (a *AS) dropPages(start, end uint64) {
 	for p := start / PageSize; p < (end+PageSize-1)/PageSize; p++ {
 		delete(a.pages, p)
 	}
+	a.lastPage = nil
 }
 
 // MadviseDontneed zeroes [addr, addr+length) by discarding backing
@@ -355,6 +386,7 @@ func (a *AS) MadviseDontneed(addr, length uint64) error {
 		return ErrUnmapped
 	}
 	a.dropPages(addr, addr+length)
+	a.gen++
 	return nil
 }
 
@@ -448,10 +480,16 @@ func (a *AS) CheckAccess(addr uint64, size int, write bool, pkru uint32) error {
 // (all-zero) page.
 func (a *AS) page(addr uint64, alloc bool) *[PageSize]byte {
 	pn := addr / PageSize
+	if a.lastPage != nil && a.lastPN == pn {
+		return a.lastPage
+	}
 	pg := a.pages[pn]
 	if pg == nil && alloc {
 		pg = new([PageSize]byte)
 		a.pages[pn] = pg
+	}
+	if pg != nil {
+		a.lastPN, a.lastPage = pn, pg
 	}
 	return pg
 }
@@ -500,6 +538,16 @@ func (a *AS) Load(addr uint64, size int) uint64 {
 		if pg == nil {
 			return 0
 		}
+		switch size {
+		case 8:
+			return binary.LittleEndian.Uint64(pg[off : off+8])
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(pg[off : off+4]))
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(pg[off : off+2]))
+		case 1:
+			return uint64(pg[off])
+		}
 		var v uint64
 		for i := size - 1; i >= 0; i-- {
 			v = v<<8 | uint64(pg[off+uint64(i)])
@@ -520,8 +568,19 @@ func (a *AS) Store(addr uint64, size int, val uint64) {
 	off := addr % PageSize
 	if off+uint64(size) <= PageSize {
 		pg := a.page(addr, true)
-		for i := 0; i < size; i++ {
-			pg[off+uint64(i)] = byte(val >> (8 * i))
+		switch size {
+		case 8:
+			binary.LittleEndian.PutUint64(pg[off:off+8], val)
+		case 4:
+			binary.LittleEndian.PutUint32(pg[off:off+4], uint32(val))
+		case 2:
+			binary.LittleEndian.PutUint16(pg[off:off+2], uint16(val))
+		case 1:
+			pg[off] = byte(val)
+		default:
+			for i := 0; i < size; i++ {
+				pg[off+uint64(i)] = byte(val >> (8 * i))
+			}
 		}
 		return
 	}

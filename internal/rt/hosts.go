@@ -11,28 +11,34 @@ import (
 )
 
 // bindHosts installs the import wrappers and memory builtins into the
-// compiled program. Each host call is a transition out of the sandbox
-// and back in (§6.4.1), so the wrappers charge both directions.
+// instance's machine. The bindings close over the instance, so they go
+// into a fresh Machine.Hosts slice — never into the compiled Program,
+// which stays immutable and shareable across instances (the module-
+// compile cache depends on this). Each host call is a transition out of
+// the sandbox and back in (§6.4.1), so the wrappers charge both
+// directions.
 func (inst *Instance) bindHosts() {
 	meta := inst.Mod.Meta
 	m := inst.Mod.IR
+	hosts := make([]cpu.HostFunc, len(inst.Mod.Prog.Hosts))
 	for i, imp := range m.Imports {
 		idx := meta.HostIndex(uint32(i))
 		impl, ok := inst.hosts[imp.Name]
 		if !ok {
 			// Leave a diagnostic stub; calling it is an error.
 			name := imp.Name
-			inst.Mod.Prog.Hosts[idx] = func(*cpu.Machine) error {
+			hosts[idx] = func(*cpu.Machine) error {
 				return fmt.Errorf("rt: import %q not bound", name)
 			}
 			continue
 		}
 		sig := imp.Type
-		inst.Mod.Prog.Hosts[idx] = inst.wrapHost(sig, impl)
+		hosts[idx] = inst.wrapHost(sig, impl)
 	}
-	inst.Mod.Prog.Hosts[meta.BuiltinIndex(sfi.BuiltinGrow)] = inst.builtinGrow
-	inst.Mod.Prog.Hosts[meta.BuiltinIndex(sfi.BuiltinCopy)] = inst.builtinCopy
-	inst.Mod.Prog.Hosts[meta.BuiltinIndex(sfi.BuiltinFill)] = inst.builtinFill
+	hosts[meta.BuiltinIndex(sfi.BuiltinGrow)] = inst.builtinGrow
+	hosts[meta.BuiltinIndex(sfi.BuiltinCopy)] = inst.builtinCopy
+	hosts[meta.BuiltinIndex(sfi.BuiltinFill)] = inst.builtinFill
+	inst.Mach.Hosts = hosts
 }
 
 // wrapHost adapts a runtime HostFunc to the machine-level convention:

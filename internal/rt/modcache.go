@@ -1,0 +1,83 @@
+package rt
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ir"
+	"repro/internal/sfi"
+)
+
+// ModuleKey identifies a compiled module for the compile cache: the
+// kernel name, which source variant was built (pointer-sensitive
+// kernels build a different program for their native baseline), and
+// the full SFI configuration (sfi.Config is comparable, so identical
+// configurations compare equal as map keys).
+type ModuleKey struct {
+	Name    string
+	Variant bool
+	Cfg     sfi.Config
+}
+
+// cacheEntry is one slot of the compile cache. The once gate makes
+// concurrent first requests for the same key compile exactly once;
+// later requests share the compiled Module, which is safe because a
+// compiled Program is immutable (host bindings go into each instance's
+// Machine, never into the Program).
+type cacheEntry struct {
+	once sync.Once
+	mod  *Module
+	err  error
+}
+
+type moduleCache struct {
+	m        sync.Map // ModuleKey -> *cacheEntry
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	disabled atomic.Bool
+}
+
+var modCache moduleCache
+
+// CompileModuleCached returns the compiled module for key, building and
+// compiling it on first use. build is only invoked on a cache miss.
+// Concurrent callers with the same key block until the single compile
+// finishes and then share the result.
+func CompileModuleCached(key ModuleKey, build func() *ir.Module) (*Module, error) {
+	if modCache.disabled.Load() {
+		return CompileModule(build(), key.Cfg)
+	}
+	v, _ := modCache.m.LoadOrStore(key, &cacheEntry{})
+	e := v.(*cacheEntry)
+	compiled := false
+	e.once.Do(func() {
+		compiled = true
+		modCache.misses.Add(1)
+		e.mod, e.err = CompileModule(build(), key.Cfg)
+	})
+	if !compiled {
+		modCache.hits.Add(1)
+	}
+	return e.mod, e.err
+}
+
+// SetModuleCacheEnabled turns the compile cache on or off (it is on by
+// default). Disabling does not drop existing entries; use
+// ResetModuleCache for that.
+func SetModuleCacheEnabled(on bool) { modCache.disabled.Store(!on) }
+
+// ResetModuleCache drops all cached modules and zeroes the counters.
+func ResetModuleCache() {
+	modCache.m.Range(func(k, _ any) bool {
+		modCache.m.Delete(k)
+		return true
+	})
+	modCache.hits.Store(0)
+	modCache.misses.Store(0)
+}
+
+// ModuleCacheStats returns the hit and miss counts since the last
+// reset.
+func ModuleCacheStats() (hits, misses uint64) {
+	return modCache.hits.Load(), modCache.misses.Load()
+}

@@ -95,6 +95,9 @@ const (
 	opCount
 )
 
+// OpCount is the number of defined opcodes, for dense per-op tables.
+const OpCount = int(opCount)
+
 var opNames = map[Op]string{
 	NOP: "nop", MOV: "mov", MOVZX: "movzx", MOVSX: "movsx", LEA: "lea",
 	XCHG: "xchg", CMOV: "cmov", PUSH: "push", POP: "pop",
