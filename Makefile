@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench-smoke bench results
+.PHONY: build test race vet ci bench-smoke bench results
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,15 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Pre-PR check: formatting, vet, and the full suite under the race
+# detector. The multi-minute golden-table comparisons (fig3/fig4/fig5/
+# table2) skip themselves under -race; `make test` still runs them.
+ci:
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 # A fast end-to-end pass: one cheap experiment through the bench
 # harness and the quick benchtab path.

@@ -7,6 +7,7 @@
 //	faassim                          # sweep 1..15 processes, all handlers
 //	faassim -procs 8 -handler regex-filtering
 //	faassim -compute 50000 -pages 64 -arrivals 60
+//	faassim -backend mte -coldstart  # §7: per-request lifecycle costs
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/faas"
+	"repro/internal/isolation"
 	"repro/internal/sfi"
 	"repro/internal/workloads"
 )
@@ -27,7 +29,26 @@ func main() {
 	pages := flag.Int("pages", 48, "instance pages touched per request")
 	arrivals := flag.Int("arrivals", 40, "request arrivals per 1 ms epoch")
 	duration := flag.Float64("seconds", 2, "simulated seconds")
+	backend := flag.String("backend", "", "isolation backend replacing the default colorguard side (guardpage, colorguard, mte, multiproc)")
+	coldStart := flag.Bool("coldstart", false, "fresh instance per request: charge the backend's init/teardown costs (§7)")
+	instanceKB := flag.Uint64("instancekb", 64, "linear-memory KiB the cold-start lifecycle costs are charged on")
+	preserveTags := flag.Bool("preservetags", false, "model the tag-preserving madvise (mte backend only)")
 	flag.Parse()
+
+	kind := isolation.ColorGuard
+	if *backend != "" {
+		kind = isolation.Kind(*backend)
+		found := false
+		for _, k := range isolation.Kinds() {
+			if k == kind {
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "faassim: unknown backend %q (want one of %v)\n", *backend, isolation.Kinds())
+			os.Exit(1)
+		}
+	}
 
 	names := []string{"html-templating", "hash-load-balance", "regex-filtering"}
 	if *handler != "" {
@@ -41,18 +62,23 @@ func main() {
 		}
 		fmt.Printf("== %s: compute %.1f µs/request, %d pages ==\n", w.Name, w.ComputeNs/1e3, w.Pages)
 		fmt.Printf("%-6s  %-12s  %-12s  %-8s  %-14s  %-12s\n",
-			"procs", "mp rps", "cg rps", "gain", "mp switches", "mp dtlb")
+			"procs", "mp rps", shortName(kind)+" rps", "gain", "mp switches", "mp dtlb")
 		ns := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
 		if *procs > 0 {
 			ns = []int{*procs}
 		}
 		for _, n := range ns {
-			cgCfg := faas.DefaultConfig(w, 1, true)
-			mpCfg := faas.DefaultConfig(w, n, false)
-			cgCfg.ArrivalsPerEpoch = *arrivals
-			mpCfg.ArrivalsPerEpoch = *arrivals
-			cgCfg.DurationNs = *duration * 1e9
-			mpCfg.DurationNs = *duration * 1e9
+			cgCfg := faas.KindConfig(w, kind, 1)
+			mpCfg := faas.KindConfig(w, isolation.MultiProc, n)
+			if kind == isolation.MTE {
+				cgCfg.Lifecycle = isolation.LifecycleFor(kind, *preserveTags)
+			}
+			for _, cfg := range []*faas.Config{&cgCfg, &mpCfg} {
+				cfg.ArrivalsPerEpoch = *arrivals
+				cfg.DurationNs = *duration * 1e9
+				cfg.ColdStart = *coldStart
+				cfg.InstanceBytes = *instanceKB << 10
+			}
 			cg := faas.Run(cgCfg)
 			mp := faas.Run(mpCfg)
 			gain := (cg.ThroughputRPS/mp.ThroughputRPS - 1) * 100
@@ -61,6 +87,19 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// shortName abbreviates a backend kind for the table header.
+func shortName(kind isolation.Kind) string {
+	switch kind {
+	case isolation.ColorGuard:
+		return "cg"
+	case isolation.GuardPage:
+		return "gp"
+	case isolation.MultiProc:
+		return "mp"
+	}
+	return string(kind)
 }
 
 func buildWorkload(name string, computeNs float64, pages int) (faas.Workload, error) {

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/ir"
+	"repro/internal/isolation"
 	"repro/internal/rt"
 	"repro/internal/sfi"
 )
@@ -46,7 +47,7 @@ func main() {
 	}
 	var jobs []*job
 	for i, n := range []uint64{300000, 200000, 100000} {
-		inst, err := rt.NewInstance(mod, rt.InstanceOptions{FSGSBASE: true, Pkey: uint8(i + 1)})
+		inst, err := rt.NewInstance(mod, rt.InstanceOptions{FSGSBASE: true, Place: isolation.Colored(uint8(i + 1))})
 		if err != nil {
 			panic(err)
 		}

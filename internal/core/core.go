@@ -31,8 +31,8 @@ import (
 	"repro/internal/colorguard"
 	"repro/internal/cpu"
 	"repro/internal/ir"
+	"repro/internal/isolation"
 	"repro/internal/mem"
-	"repro/internal/pool"
 	"repro/internal/rt"
 	"repro/internal/sfi"
 )
@@ -112,8 +112,6 @@ type HostCall = rt.HostCall
 // Sandbox is one running instance.
 type Sandbox struct {
 	inst *rt.Instance
-	pool *Pool
-	slot pool.Slot
 }
 
 // Instantiate creates a standalone sandbox (own simulated address
@@ -154,15 +152,16 @@ func (sb *Sandbox) MemWrite(addr uint32, data []byte) error {
 	return hc.MemWrite(addr, data)
 }
 
-// Close releases the sandbox's pool slot, if any.
-func (sb *Sandbox) Close() {
-	if sb.pool != nil {
-		sb.pool.p.Free(sb.slot)
-		sb.pool = nil
-	}
+// Close releases the sandbox's pool slot back to its backend, if any.
+func (sb *Sandbox) Close() error {
+	return sb.inst.Close()
 }
 
-// PoolOptions configures a ColorGuard pool.
+// Slot returns the sandbox's isolation slot (the zero Slot for
+// standalone sandboxes).
+func (sb *Sandbox) Slot() isolation.Slot { return sb.inst.Slot() }
+
+// PoolOptions configures a sandbox pool.
 type PoolOptions struct {
 	// MaxMemoryBytes caps each sandbox's linear memory (must cover the
 	// modules instantiated into the pool).
@@ -180,16 +179,31 @@ type PoolOptions struct {
 	TotalBytes uint64
 
 	// Keys is the number of MPK keys to stripe with (0 disables
-	// ColorGuard and falls back to pure guard regions).
+	// ColorGuard and falls back to pure guard regions). Only meaningful
+	// for the ColorGuard backend.
 	Keys int
+
+	// Backend selects the isolation mechanism protecting the pool's
+	// slots; empty selects ColorGuard when Keys > 0, guard pages
+	// otherwise (the historical behavior).
+	Backend isolation.Kind
+
+	// Processes deals slots across this many OS processes (multi-process
+	// backend only); 0 selects 1.
+	Processes int
+
+	// PreserveTagsOnMadvise models the proposed tag-preserving
+	// madvise(MADV_DONTNEED) (MTE backend only, §7): recycling keeps
+	// granule tags, so slot reuse needs no re-tagging.
+	PreserveTagsOnMadvise bool
 }
 
-// Pool is a ColorGuard pooling allocator: one shared simulated address
-// space packing sandboxes with MPK striping.
+// Pool is a pooling allocator: one shared simulated address space
+// packing sandboxes, protected by an isolation backend (MPK striping,
+// MTE tagging, guard pages, or process separation).
 type Pool struct {
 	eng *Engine
-	as  *mem.AS
-	p   *pool.Pool
+	b   isolation.Backend
 }
 
 // NewPool reserves a pool.
@@ -201,56 +215,69 @@ func (e *Engine) NewPool(o PoolOptions) (*Pool, error) {
 	if guard == 0 {
 		guard = 4 << 30
 	}
-	as := mem.NewAS(47)
-	p, err := pool.New(as, pool.Config{
-		NumSlots:       o.Slots,
-		MaxMemoryBytes: o.MaxMemoryBytes,
-		GuardBytes:     guard,
-		Keys:           o.Keys,
-		TotalBytes:     o.TotalBytes,
+	kind := o.Backend
+	if kind == "" {
+		if o.Keys > 0 {
+			kind = isolation.ColorGuard
+		} else {
+			kind = isolation.GuardPage
+		}
+	}
+	b, err := isolation.NewReserved(kind, mem.NewAS(47), isolation.Config{
+		Slots:                 o.Slots,
+		MaxMemoryBytes:        o.MaxMemoryBytes,
+		GuardBytes:            guard,
+		TotalBytes:            o.TotalBytes,
+		Keys:                  o.Keys,
+		Processes:             o.Processes,
+		PreserveTagsOnMadvise: o.PreserveTagsOnMadvise,
 	})
 	if err != nil {
 		return nil, err
 	}
-	if err := p.CheckIsolation(); err != nil {
+	if err := b.CheckIsolation(); err != nil {
 		return nil, fmt.Errorf("core: pool striping unsafe: %w", err)
 	}
-	return &Pool{eng: e, as: as, p: p}, nil
+	return &Pool{eng: e, b: b}, nil
 }
 
 // Capacity returns the pool's total slot count.
-func (p *Pool) Capacity() int { return p.p.Capacity() }
+func (p *Pool) Capacity() int { return p.b.Capacity() }
 
 // Available returns the free slot count.
-func (p *Pool) Available() int { return p.p.Available() }
+func (p *Pool) Available() int { return p.b.Available() }
 
-// Stripes returns the number of MPK colors in use.
-func (p *Pool) Stripes() int { return p.p.Layout.NumStripes }
+// Stripes returns the number of colors in use.
+func (p *Pool) Stripes() int { return p.b.Layout().NumStripes }
+
+// Backend exposes the pool's isolation backend (for cost accounting
+// and tests).
+func (p *Pool) Backend() isolation.Backend { return p.b }
 
 // Instantiate creates a sandbox inside the pool: its linear memory is
-// a colored slot, and every call restricts PKRU to that color.
+// a slot colored by the pool's backend, and every call applies the
+// backend's transition behavior (e.g. restricting PKRU to the slot's
+// color under ColorGuard).
 func (p *Pool) Instantiate(cm *CompiledModule, hosts map[string]HostFunc) (*Sandbox, error) {
 	need := uint64(cm.mod.IR.MemMin) * ir.PageSize
 	maxNeed := uint64(cm.mod.IR.MemMax) * ir.PageSize
-	if maxNeed > p.p.Layout.MaxMemoryBytes {
-		return nil, fmt.Errorf("core: module needs %d bytes, pool slots hold %d", maxNeed, p.p.Layout.MaxMemoryBytes)
+	if maxNeed > p.b.Layout().MaxMemoryBytes {
+		return nil, fmt.Errorf("core: module needs %d bytes, pool slots hold %d", maxNeed, p.b.Layout().MaxMemoryBytes)
 	}
-	slot, err := p.p.Allocate(need)
+	slot, err := p.b.Allocate(need)
 	if err != nil {
 		return nil, err
 	}
 	inst, err := rt.NewInstance(cm.mod, rt.InstanceOptions{
 		Hosts:    hosts,
 		FSGSBASE: p.eng.fsgsbase,
-		AS:       p.as,
-		HeapBase: slot.Addr,
-		Pkey:     slot.Pkey,
+		Place:    isolation.Place(p.b, slot),
 	})
 	if err != nil {
-		p.p.Free(slot)
+		_ = p.b.Recycle(slot)
 		return nil, err
 	}
-	return &Sandbox{inst: inst, pool: p, slot: slot}, nil
+	return &Sandbox{inst: inst}, nil
 }
 
 // PkruFor exposes the PKRU value used when entering a sandbox with the

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/ir"
+	"repro/internal/isolation"
 )
 
 func sumModule() *ir.Module {
@@ -219,7 +220,7 @@ func TestPoolIsolation(t *testing.T) {
 	if err := b.MemWrite(16, []byte{0xAA, 0xBB, 0xCC, 0xDD}); err != nil {
 		t.Fatal(err)
 	}
-	delta := b.slot.Addr - a.slot.Addr
+	delta := b.Slot().Addr - a.Slot().Addr
 	_, err = a.Call("rd", delta+16)
 	var trap *cpu.Trap
 	if !errors.As(err, &trap) {
@@ -227,5 +228,129 @@ func TestPoolIsolation(t *testing.T) {
 	}
 	if trap.Kind != cpu.TrapPkey && trap.Kind != cpu.TrapPageFault {
 		t.Fatalf("trap kind = %v, want pkey or guard fault", trap.Kind)
+	}
+}
+
+// TestPoolBackends: every isolation backend serves as a pool substrate
+// through the same Instantiate/Call/Close lifecycle, and Close recycles
+// the slot back to the backend.
+func TestPoolBackends(t *testing.T) {
+	eng := NewEngine(Options{Segue: true, FSGSBASE: true})
+	cm, err := eng.Compile(sumModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range isolation.Kinds() {
+		opts := PoolOptions{
+			MaxMemoryBytes: 128 << 10, GuardBytes: 1 << 20, Slots: 4,
+			Backend: kind,
+		}
+		if kind == isolation.ColorGuard {
+			opts.Keys = 4
+		}
+		if kind == isolation.MultiProc {
+			opts.Processes = 2
+		}
+		p, err := eng.NewPool(opts)
+		if err != nil {
+			t.Fatalf("%s: pool: %v", kind, err)
+		}
+		if p.Backend().Kind() != kind {
+			t.Fatalf("%s: backend kind = %s", kind, p.Backend().Kind())
+		}
+		sb, err := p.Instantiate(cm, nil)
+		if err != nil {
+			t.Fatalf("%s: instantiate: %v", kind, err)
+		}
+		res, err := sb.Call("sum", 10)
+		if err != nil {
+			t.Fatalf("%s: call: %v", kind, err)
+		}
+		if res[0] != 45 {
+			t.Fatalf("%s: sum = %d, want 45", kind, res[0])
+		}
+		switch kind {
+		case isolation.ColorGuard:
+			if sb.Slot().Pkey == 0 {
+				t.Fatalf("%s: slot has no MPK color", kind)
+			}
+		case isolation.MTE:
+			if sb.Slot().Tag == 0 {
+				t.Fatalf("%s: slot has no MTE tag", kind)
+			}
+		}
+		if p.Available() != 3 {
+			t.Fatalf("%s: available = %d, want 3", kind, p.Available())
+		}
+		if err := sb.Close(); err != nil {
+			t.Fatalf("%s: close: %v", kind, err)
+		}
+		if p.Available() != 4 {
+			t.Fatalf("%s: available after close = %d, want 4", kind, p.Available())
+		}
+		if err := sb.Close(); err != nil {
+			t.Fatalf("%s: second close should be a no-op, got %v", kind, err)
+		}
+		initNs, teardownNs := p.Backend().LifecycleNs()
+		if initNs <= 0 || teardownNs <= 0 {
+			t.Fatalf("%s: lifecycle accounting init=%v teardown=%v, want positive", kind, initNs, teardownNs)
+		}
+	}
+}
+
+// TestPoolBackendDefault: the historical API — Keys selects ColorGuard,
+// no Keys selects guard pages — still picks the right backend.
+func TestPoolBackendDefault(t *testing.T) {
+	eng := NewEngine(Options{Segue: true, FSGSBASE: true})
+	p, err := eng.NewPool(PoolOptions{MaxMemoryBytes: 128 << 10, GuardBytes: 1 << 20, Slots: 4, Keys: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Backend().Kind() != isolation.ColorGuard {
+		t.Fatalf("Keys>0 backend = %s, want colorguard", p.Backend().Kind())
+	}
+	p, err = eng.NewPool(PoolOptions{MaxMemoryBytes: 128 << 10, GuardBytes: 1 << 20, Slots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Backend().Kind() != isolation.GuardPage {
+		t.Fatalf("no-Keys backend = %s, want guardpage", p.Backend().Kind())
+	}
+}
+
+// TestPooledGrow: memory.grow inside a pooled sandbox routes through the
+// backend and keeps the slot's coloring on the grown pages.
+func TestPooledGrow(t *testing.T) {
+	m := ir.NewModule("grow", 1, 4)
+	fb := m.NewFunc("f", ir.Sig(nil, []ir.ValType{ir.I32}), ir.I32)
+	fb.I32(2).MemGrow().Set(0)
+	fb.I32(ir.PageSize + 100).I32(7).I32Store(0)
+	fb.I32(ir.PageSize + 100).I32Load(0)
+	fb.MustBuild()
+	m.MustExport("f")
+
+	eng := NewEngine(Options{Segue: true, FSGSBASE: true})
+	cm, err := eng.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := eng.NewPool(PoolOptions{MaxMemoryBytes: 256 << 10, GuardBytes: 1 << 20, Slots: 4, Keys: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := p.Instantiate(cm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sb.Call("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 7 {
+		t.Fatalf("read after grow = %d, want 7", res[0])
+	}
+	// The grown pages carry the slot's color.
+	if v, ok := p.Backend().AS().VMAAt(sb.Slot().Addr + uint64(ir.PageSize)); !ok || v.Pkey != sb.Slot().Pkey {
+		t.Fatalf("grown page pkey = %d, want %d", v.Pkey, sb.Slot().Pkey)
 	}
 }

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ir"
-	"repro/internal/pool"
+	"repro/internal/isolation"
 	"repro/internal/report"
 	"repro/internal/rt"
 	"repro/internal/sfi"
@@ -87,8 +87,8 @@ func AblationGuardGeometry() (*report.Table, error) {
 
 	budget := uint64(85) << 40
 	slots := func(guardB, pre uint64) int {
-		l, err := pool.ComputeLayout(pool.Config{
-			NumSlots: 0, MaxMemoryBytes: 4 << 30, GuardBytes: guardB,
+		l, err := isolation.PlanLayout(isolation.GuardPage, isolation.Config{
+			MaxMemoryBytes: 4 << 30, GuardBytes: guardB,
 			PreGuardBytes: pre, TotalBytes: budget,
 		})
 		if err != nil {
@@ -119,13 +119,13 @@ func AblationStripeCount() (*report.Table, error) {
 		ID: "ablation-stripes", Title: "Slot density vs available MPK keys (408 MB memories)",
 		Headers: []string{"keys", "stripes", "slots", "density vs no striping"},
 	}
-	baseL, err := pool.ComputeLayout(pool.Config{NumSlots: 0, MaxMemoryBytes: maxMem, GuardBytes: guard, TotalBytes: budget})
+	baseL, err := isolation.PlanLayout(isolation.GuardPage, isolation.Config{MaxMemoryBytes: maxMem, GuardBytes: guard, TotalBytes: budget})
 	if err != nil {
 		return nil, err
 	}
 	for _, keys := range []int{0, 2, 4, 8, 15} {
-		l, err := pool.ComputeLayout(pool.Config{
-			NumSlots: 0, MaxMemoryBytes: maxMem, GuardBytes: guard,
+		l, err := isolation.PlanLayout(isolation.ColorGuard, isolation.Config{
+			MaxMemoryBytes: maxMem, GuardBytes: guard,
 			TotalBytes: budget, Keys: keys,
 		})
 		if err != nil {

@@ -5,7 +5,8 @@ import (
 
 	"repro/internal/faas"
 	"repro/internal/ir"
-	"repro/internal/mte"
+	"repro/internal/isolation"
+	"repro/internal/mem"
 	"repro/internal/pool"
 	"repro/internal/report"
 	"repro/internal/rt"
@@ -38,7 +39,7 @@ func TransitionCost() (*report.Table, error) {
 		if err != nil {
 			return 0, err
 		}
-		inst, err := rt.NewInstance(mod, rt.InstanceOptions{FSGSBASE: true, Pkey: pkey})
+		inst, err := rt.NewInstance(mod, rt.InstanceOptions{FSGSBASE: true, Place: isolation.Colored(pkey)})
 		if err != nil {
 			return 0, err
 		}
@@ -77,15 +78,14 @@ func ScalingSlots() (*report.Table, error) {
 	budget := uint64(85) << 40
 	maxMem := uint64(408) << 20
 	guard := uint64(6)<<30 - maxMem
-	base := pool.Config{NumSlots: 0, MaxMemoryBytes: maxMem, GuardBytes: guard, TotalBytes: budget}
-	noCG := base
+	base := isolation.Config{MaxMemoryBytes: maxMem, GuardBytes: guard, TotalBytes: budget}
 	withCG := base
 	withCG.Keys = 15
-	l0, err := pool.ComputeLayout(noCG)
+	l0, err := isolation.PlanLayout(isolation.GuardPage, base)
 	if err != nil {
 		return nil, err
 	}
-	l1, err := pool.ComputeLayout(withCG)
+	l1, err := isolation.PlanLayout(isolation.ColorGuard, withCG)
 	if err != nil {
 		return nil, err
 	}
@@ -246,24 +246,44 @@ func Table1Verification() (*report.Table, error) {
 }
 
 // MTEObservations reproduces §7's two cost observations on
-// ColorGuard-MTE, plus the proposed tag-preserving madvise fix.
+// ColorGuard-MTE, plus the proposed tag-preserving madvise fix. Each
+// configuration is one isolation backend: the plain baseline is the
+// guard-page backend (mmap+zero, madvise — no coloring costs), the MTE
+// rows are the MTE backend with and without the preserving madvise. The
+// costs come out of the same Allocate/Recycle accounting the FaaS
+// simulator consumes.
 func MTEObservations() (*report.Table, error) {
 	const size = 65536
 	const instances = 40
-	run := func(enabled, preserve bool) (initNs, teardownNs float64) {
-		a := mte.NewAllocator(enabled)
-		a.PreserveTagsOnMadvise = preserve
-		for i := uint64(0); i < instances; i++ {
-			a.InitInstance(i*size, size, uint8(1+i%15))
+	run := func(kind isolation.Kind, preserve bool) (initNs, teardownNs float64) {
+		b, err := isolation.NewReserved(kind, mem.NewAS(47), isolation.Config{
+			Slots:                 instances,
+			MaxMemoryBytes:        size,
+			GuardBytes:            1 << 20,
+			PreserveTagsOnMadvise: preserve,
+		})
+		if err != nil {
+			panic(err) // static geometry; cannot fail
 		}
-		for i := uint64(0); i < instances; i++ {
-			a.TeardownInstance(i*size, size)
+		slots := make([]isolation.Slot, instances)
+		for i := range slots {
+			s, err := b.Allocate(size)
+			if err != nil {
+				panic(err)
+			}
+			slots[i] = s
 		}
-		return a.InitNs / instances, a.TeardownNs / instances
+		for _, s := range slots {
+			if err := b.Recycle(s); err != nil {
+				panic(err)
+			}
+		}
+		init, teardown := b.LifecycleNs()
+		return init / instances, teardown / instances
 	}
-	pi, pt := run(false, false)
-	mi, mt := run(true, false)
-	fi, ft := run(true, true)
+	pi, pt := run(isolation.GuardPage, false)
+	mi, mt := run(isolation.MTE, false)
+	fi, ft := run(isolation.MTE, true)
 	t := &report.Table{
 		ID: "mte", Title: "ColorGuard-MTE: per-instance costs for 40 x 64 KiB memories (µs)",
 		Headers: []string{"configuration", "init µs", "teardown µs"},

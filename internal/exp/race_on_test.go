@@ -1,0 +1,7 @@
+//go:build race
+
+package exp
+
+// raceEnabled reports whether the race detector is compiled in (used to
+// skip the multi-minute golden tables under `go test -race`).
+const raceEnabled = true

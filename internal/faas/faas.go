@@ -18,6 +18,7 @@ import (
 	"container/heap"
 
 	"repro/internal/cache"
+	"repro/internal/isolation"
 	"repro/internal/stats"
 )
 
@@ -44,6 +45,27 @@ type Config struct {
 	Processes  int
 	ColorGuard bool
 
+	// Trans is the per-boundary-crossing cost model the simulation
+	// charges: enter+leave per request, switch+refill per process
+	// switch. The zero value derives the legacy model from the
+	// ColorGuard flag; KindConfig/BackendConfig fill it from an
+	// isolation backend, so §6.4.3 and §7 share one cost path.
+	Trans isolation.TransitionCost
+
+	// Lifecycle is the per-slot init/recycle cost model, charged per
+	// request when ColdStart is set.
+	Lifecycle isolation.LifecycleCost
+
+	// ColdStart charges Lifecycle init before each request's compute
+	// and Lifecycle teardown at completion — the serverless pattern
+	// where every request gets a fresh instance (§7's concern). Off by
+	// default: the §6.4.3 figures model warm instances.
+	ColdStart bool
+
+	// InstanceBytes is the linear-memory size Lifecycle costs are
+	// charged on (ColdStart only).
+	InstanceBytes uint64
+
 	// EpochNs is the preemption quantum (paper: 1 ms).
 	EpochNs float64
 	// IODelayMeanNs is the Poisson mean of the simulated IO wait
@@ -58,18 +80,59 @@ type Config struct {
 }
 
 // DefaultConfig returns the paper's simulation parameters around the
-// given workload.
+// given workload, with the legacy flag-derived cost model: plain or
+// PKRU transitions per the colorGuard flag, and the standard
+// context-switch/cache-refill costs when processes contend.
 func DefaultConfig(w Workload, processes int, colorGuard bool) Config {
 	return Config{
 		Workload:         w,
 		Processes:        processes,
 		ColorGuard:       colorGuard,
+		Trans:            legacyTrans(colorGuard),
 		EpochNs:          1e6,
 		IODelayMeanNs:    5e6,
 		ArrivalsPerEpoch: 40,
 		DurationNs:       2e9,
 		Seed:             7,
 	}
+}
+
+// legacyTrans is the pre-backend cost derivation: the transition cost
+// follows the ColorGuard flag, and the process-switch terms are always
+// present (they are only ever charged when Processes > 1).
+func legacyTrans(colorGuard bool) isolation.TransitionCost {
+	t := isolation.TransitionCost{
+		EnterNs:  isolation.TransitionNs,
+		LeaveNs:  isolation.TransitionNs,
+		SwitchNs: isolation.CtxSwitchNs,
+		RefillNs: isolation.CacheRefillNs,
+		FlushTLB: true,
+	}
+	if colorGuard {
+		t.EnterNs, t.LeaveNs = isolation.TransitionPKRUNs, isolation.TransitionPKRUNs
+	}
+	return t
+}
+
+// KindConfig returns the paper's simulation parameters with the cost
+// model of an isolation backend kind: the §6.4.3 comparison is
+// KindConfig(w, isolation.ColorGuard, 1) against
+// KindConfig(w, isolation.MultiProc, n).
+func KindConfig(w Workload, kind isolation.Kind, processes int) Config {
+	cfg := DefaultConfig(w, processes, kind == isolation.ColorGuard)
+	cfg.Trans = isolation.TransitionFor(kind)
+	cfg.Lifecycle = isolation.LifecycleFor(kind, false)
+	return cfg
+}
+
+// BackendConfig returns the simulation parameters with the cost models
+// of a live backend (including per-backend options such as the MTE
+// tag-preserving madvise).
+func BackendConfig(w Workload, b isolation.Backend, processes int) Config {
+	cfg := DefaultConfig(w, processes, b.Kind() == isolation.ColorGuard)
+	cfg.Trans = b.TransitionCost()
+	cfg.Lifecycle = b.LifecycleCost()
+	return cfg
 }
 
 // Result carries the measured outcomes.
@@ -80,22 +143,23 @@ type Result struct {
 	Transitions   uint64 // sandbox transitions (user level)
 	DTLBMisses    uint64
 	MaxConcurrent int
+
+	// LifecycleNs is the virtual time spent in instance init/teardown
+	// (ColdStart runs only).
+	LifecycleNs float64
 }
 
-// Cost model constants. The per-transition values follow §6.4.1's
-// measurements; the process-switch cost is the standard Linux
-// same-core figure, and the cache-refill term models the resource
-// contention visible in Figure 7.
+// Scheduling constants. The transition and process-switch costs now
+// come from the isolation layer's cost models (Config.Trans); what
+// stays here is pure scheduler behavior.
 const (
-	transitionPlainNs = 2 * 30.34 // enter+leave a sandbox, no ColorGuard
-	transitionCGNs    = 2 * 51.52 // with the PKRU write each way
-	procSwitchNs      = 3500.0    // direct kernel context-switch cost
-	// cacheRefillNs models the post-switch warmup: another process's
-	// working set displaced L1/L2 contents (a 48 KiB L1 alone is ~750
-	// lines), the "resource contention" of Figure 7.
-	cacheRefillNs = 3200.0
-	tlbMissNs     = 10.0 // ≈22 cycles at 2.2 GHz
-	runtimePages  = 96   // engine/stack/libc pages a request touches
+	// procSwitchNs is the direct kernel context-switch cost, charged
+	// for the background switches every pinned process suffers
+	// regardless of isolation mechanism (kernel threads and timers —
+	// the constant baseline of Figure 7a).
+	procSwitchNs = isolation.CtxSwitchNs
+	tlbMissNs    = 10.0 // ≈22 cycles at 2.2 GHz
+	runtimePages = 96   // engine/stack/libc pages a request touches
 	// The OS scheduler divides its period among runnable processes
 	// (CFS-style), floored at a minimum granularity — so the context
 	// switch rate grows with the process count, the linear shape of
@@ -110,6 +174,7 @@ type task struct {
 	computeNs float64 // compute remaining
 	proc      int
 	base      uint64 // instance memory base (for TLB page addresses)
+	started   bool   // cold-start init already charged
 }
 
 // ioHeap orders tasks by IO completion.
@@ -137,6 +202,12 @@ func Run(cfg Config) Result {
 	// A Raptor-Lake-sized second-level dTLB.
 	tlb := cache.NewTLB(2048, 8)
 
+	trans := cfg.Trans
+	if trans == (isolation.TransitionCost{}) {
+		// Zero-value Config: derive the legacy cost model from the
+		// ColorGuard flag.
+		trans = legacyTrans(cfg.ColorGuard)
+	}
 	var (
 		clock     float64
 		res       Result
@@ -146,12 +217,9 @@ func Run(cfg Config) Result {
 		nextEpoch float64
 		nextBase  uint64
 		inFlight  int
-		transCost = transitionPlainNs
+		transCost = trans.RoundTripNs()
 		rrCursor  int
 	)
-	if cfg.ColorGuard {
-		transCost = transitionCGNs
-	}
 
 	// touch simulates the TLB traffic of one request's compute slice:
 	// the process's runtime pages plus the instance's own pages.
@@ -243,9 +311,12 @@ func Run(cfg Config) Result {
 		}
 		if p != lastProc {
 			if lastProc >= 0 {
-				// OS context switch: direct cost, TLB flush, cold caches.
-				clock += procSwitchNs + cacheRefillNs
-				tlb.Flush()
+				// OS context switch: direct cost, cold caches, and — for
+				// process-separated domains — a dTLB flush.
+				clock += trans.SwitchNs + trans.RefillNs
+				if trans.FlushTLB {
+					tlb.Flush()
+				}
 				res.CtxSwitches++
 			}
 			lastProc = p
@@ -266,6 +337,15 @@ func Run(cfg Config) Result {
 		for len(ready[p]) > 0 && clock < sliceEnd && clock < cfg.DurationNs {
 			t := ready[p][0]
 			ready[p] = ready[p][1:]
+			if cfg.ColdStart && !t.started {
+				// Fresh instance per request: mmap+zero plus the
+				// backend's coloring cost (re-coloring, since slots cycle
+				// through discarding recycles under plain MTE).
+				init := cfg.Lifecycle.InitNs(cfg.InstanceBytes, cfg.Lifecycle.RecolorOnReuse)
+				clock += init
+				res.LifecycleNs += init
+				t.started = true
+			}
 			clock += transCost
 			res.Transitions += 2
 			clock += touch(t)
@@ -284,6 +364,11 @@ func Run(cfg Config) Result {
 			clock += run
 			res.Completed++
 			inFlight--
+			if cfg.ColdStart {
+				teardown := cfg.Lifecycle.TeardownNs(cfg.InstanceBytes)
+				clock += teardown
+				res.LifecycleNs += teardown
+			}
 		}
 	}
 	res.ThroughputRPS = float64(res.Completed) / (cfg.DurationNs / 1e9)
@@ -292,10 +377,11 @@ func Run(cfg Config) Result {
 
 // GainVsMultiprocess runs the Figure 6 comparison: ColorGuard in one
 // process versus n-process scaling on the same load, returning the
-// percentage throughput gain and both results.
+// percentage throughput gain and both results. The two sides are the
+// same simulation under two isolation-backend cost models.
 func GainVsMultiprocess(w Workload, n int) (gainPct float64, cg, mp Result) {
-	cg = Run(DefaultConfig(w, 1, true))
-	mp = Run(DefaultConfig(w, n, false))
+	cg = Run(KindConfig(w, isolation.ColorGuard, 1))
+	mp = Run(KindConfig(w, isolation.MultiProc, n))
 	gainPct = (cg.ThroughputRPS/mp.ThroughputRPS - 1) * 100
 	return gainPct, cg, mp
 }

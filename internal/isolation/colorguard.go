@@ -1,0 +1,40 @@
+package isolation
+
+import (
+	"repro/internal/mem"
+)
+
+// colorGuard is MPK page striping (§3.2, §5.1): slots cycle through the
+// available protection keys so the guard requirement is covered by
+// differently-colored neighbor slots instead of dead address space.
+// Colors live in PTEs: they are applied by pkey_mprotect during
+// Allocate, survive madvise-based recycling for free (the §7 advantage
+// over MTE), and each transition pays a WRPKRU write each way.
+type colorGuard struct {
+	slab
+}
+
+func newColorGuard() *colorGuard {
+	b := &colorGuard{}
+	b.slab.kind = ColorGuard
+	b.slab.trans = TransitionFor(ColorGuard)
+	b.slab.life = LifecycleFor(ColorGuard, false)
+	return b
+}
+
+// Color re-applies the slot's stripe color with pkey_mprotect. Allocate
+// already colors the open region, so this only matters after an
+// explicit plain mprotect stripped the key.
+func (b *colorGuard) Color(s Slot, bytes uint64) error {
+	if b.p == nil {
+		return ErrNotReserved
+	}
+	if s.Pkey == 0 || bytes == 0 {
+		return nil
+	}
+	return b.as.PkeyMprotect(s.Addr, pageUp(bytes), mem.ProtRead|mem.ProtWrite, s.Pkey)
+}
+
+func pageUp(n uint64) uint64 {
+	return (n + mem.PageSize - 1) &^ uint64(mem.PageSize-1)
+}

@@ -1,0 +1,18 @@
+package isolation
+
+// guardPage is classic guard-region SFI: slots are separated by dead
+// PROT_NONE address space covering the full guard requirement, so an
+// out-of-bounds access lands in unmapped memory and faults. No
+// coloring, no extra transition cost — the mechanism's whole price is
+// address-space density (§6.4.2).
+type guardPage struct {
+	slab
+}
+
+func newGuardPage() *guardPage {
+	b := &guardPage{}
+	b.slab.kind = GuardPage
+	b.slab.trans = TransitionFor(GuardPage)
+	b.slab.life = LifecycleFor(GuardPage, false)
+	return b
+}

@@ -72,6 +72,11 @@ func (p *Pool) KeyForSlot(i int) uint8 {
 // ErrExhausted is returned when no slots are free.
 var ErrExhausted = fmt.Errorf("pool: no free slots")
 
+// ErrDoubleFree is returned by Free for a slot that is not allocated:
+// pushing it onto the free list again would hand the same slot to two
+// instances and corrupt the striping safety argument.
+var ErrDoubleFree = fmt.Errorf("pool: slot is not allocated (double free)")
+
 // Allocate takes a free slot, opens initialBytes of it read-write with
 // the slot's stripe color, and returns its descriptor.
 func (p *Pool) Allocate(initialBytes uint64) (Slot, error) {
@@ -92,7 +97,7 @@ func (p *Pool) Allocate(initialBytes uint64) (Slot, error) {
 	if initialBytes > 0 {
 		n := alignUp(initialBytes, OSPageSize)
 		if n > p.Layout.MaxMemoryBytes {
-			p.Free(s)
+			_ = p.Free(s)
 			return Slot{}, fmt.Errorf("pool: initial size %d exceeds slot maximum %d", initialBytes, p.Layout.MaxMemoryBytes)
 		}
 		var err error
@@ -102,7 +107,7 @@ func (p *Pool) Allocate(initialBytes uint64) (Slot, error) {
 			err = p.AS.Mprotect(s.Addr, n, mem.ProtRead|mem.ProtWrite)
 		}
 		if err != nil {
-			p.Free(s)
+			_ = p.Free(s)
 			return Slot{}, fmt.Errorf("pool: opening slot %d: %w", i, err)
 		}
 	}
@@ -124,15 +129,18 @@ func (p *Pool) Grow(s Slot, upTo uint64) error {
 // Free recycles a slot: its contents are discarded with
 // madvise(MADV_DONTNEED) — keeping both the mapping and the MPK color,
 // so reuse needs no re-striping (the MPK advantage over MTE, §7).
-func (p *Pool) Free(s Slot) {
-	if !p.inUse[s.Index] {
-		return
+// Freeing a slot that is not allocated returns ErrDoubleFree and leaves
+// the free list untouched.
+func (p *Pool) Free(s Slot) error {
+	if s.Index < 0 || s.Index >= p.Layout.NumSlots || !p.inUse[s.Index] {
+		return fmt.Errorf("%w: slot %d", ErrDoubleFree, s.Index)
 	}
 	delete(p.inUse, s.Index)
 	p.Releases++
 	// Discard any touched pages.
 	_ = p.AS.MadviseDontneed(s.Addr, alignUp(s.MaxBytes, OSPageSize))
 	p.free = append(p.free, s.Index)
+	return nil
 }
 
 // CheckIsolation validates the striping safety property: same-colored

@@ -195,6 +195,48 @@ func TestPoolAllocateFree(t *testing.T) {
 	}
 }
 
+// TestPoolDoubleFree: freeing a slot twice must fail instead of
+// pushing the index onto the free list again — a double-pushed slot
+// would be handed to two instances at once, breaking the striping
+// safety argument.
+func TestPoolDoubleFree(t *testing.T) {
+	as := mem.NewAS(40)
+	p, err := New(as, Config{NumSlots: 2, MaxMemoryBytes: mib, GuardBytes: mib, Keys: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.Allocate(mib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(s); err != nil {
+		t.Fatalf("first free: %v", err)
+	}
+	if err := p.Free(s); !errors.Is(err, ErrDoubleFree) {
+		t.Fatalf("second free: %v, want ErrDoubleFree", err)
+	}
+	if p.Available() != 2 {
+		t.Fatalf("available after double free = %d, want 2 (free list must not grow)", p.Available())
+	}
+	// A never-allocated slot and an out-of-range index are rejected too.
+	if err := p.Free(Slot{Index: 1}); !errors.Is(err, ErrDoubleFree) {
+		t.Fatalf("free of unallocated slot: %v, want ErrDoubleFree", err)
+	}
+	if err := p.Free(Slot{Index: 99}); !errors.Is(err, ErrDoubleFree) {
+		t.Fatalf("free of bogus index: %v, want ErrDoubleFree", err)
+	}
+	// Both slots remain individually allocatable.
+	if _, err := p.Allocate(mib); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Allocate(mib); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Allocate(mib); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("third allocate: %v, want ErrExhausted", err)
+	}
+}
+
 func TestPoolExhaustion(t *testing.T) {
 	as := mem.NewAS(40)
 	p, err := New(as, Config{NumSlots: 3, MaxMemoryBytes: mib, GuardBytes: mib, Keys: 0})

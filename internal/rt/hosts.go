@@ -93,13 +93,17 @@ func (inst *Instance) builtinGrow(mach *cpu.Machine) error {
 		return nil
 	}
 	if delta > 0 {
-		// mprotect the next chunk of the reservation open.
+		// Open the next chunk of the reservation. Pooled slots grow
+		// through their backend (which re-applies the slot's color);
+		// standalone reservations mprotect the delta directly.
 		start := pageUp(inst.MemBytes)
 		end := pageUp(newBytes)
 		if end > start {
 			var err error
-			if inst.Pkey != 0 {
-				err = inst.AS.PkeyMprotect(inst.HeapBase+start, end-start, mem.ProtRead|mem.ProtWrite, inst.Pkey)
+			if b := inst.place.Backend; b != nil {
+				err = b.Grow(inst.place.Slot, newBytes)
+			} else if pkey := inst.place.Slot.Pkey; pkey != 0 {
+				err = inst.AS.PkeyMprotect(inst.HeapBase+start, end-start, mem.ProtRead|mem.ProtWrite, pkey)
 			} else {
 				err = inst.AS.Mprotect(inst.HeapBase+start, end-start, mem.ProtRead|mem.ProtWrite)
 			}

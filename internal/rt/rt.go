@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/ir"
+	"repro/internal/isolation"
 	"repro/internal/mem"
 	"repro/internal/sfi"
 	"repro/internal/x86"
@@ -69,18 +70,14 @@ type InstanceOptions struct {
 	// Hosts binds import names to implementations.
 	Hosts map[string]HostFunc
 
-	// Pkey, when non-zero, colors the linear memory with the given MPK
-	// key and restricts PKRU to it while the instance runs
-	// (ColorGuard).
-	Pkey uint8
-
 	// FSGSBASE selects user-level segment-base writes (post-IvyBridge);
 	// when false, transitions pay the arch_prctl system-call cost, the
 	// fallback Firefox needs on older CPUs (§4.1).
 	FSGSBASE bool
 
 	// GuardBytes is the guard-region size reserved after the maximum
-	// linear memory; 0 selects the classic 4 GiB.
+	// linear memory; 0 selects the classic 4 GiB. Ignored for pooled
+	// placements, whose backend owns the guard geometry.
 	GuardBytes uint64
 
 	// PreGuardBytes reserves an additional guard region BEFORE the
@@ -91,11 +88,13 @@ type InstanceOptions struct {
 	// Stack size for the machine stack; 0 selects 256 KiB.
 	StackBytes uint64
 
-	// AS, when non-nil, places the instance into an existing address
-	// space (pooling); HeapBase must then be set to the instance's
-	// slot and the caller is responsible for guard geometry.
-	AS       *mem.AS
-	HeapBase uint64
+	// Place, when non-nil, puts the instance under an isolation domain:
+	// either a slot allocated from an isolation.Backend (Placement.AS
+	// set; the backend owns guard geometry and recycling) or a
+	// standalone reservation carrying a domain marking such as an MPK
+	// color (isolation.Colored). Nil means an unmarked standalone
+	// reservation — plain guard-page SFI.
+	Place *isolation.Placement
 }
 
 // Transition cost model (§6.4.1): beyond the instructions the sandbox
@@ -119,8 +118,11 @@ type Instance struct {
 	CtxBase  uint64
 	StackTop uint64
 
-	Pkey     uint8
 	FSGSBASE bool
+
+	// place is the instance's isolation domain: the slot marking drives
+	// the transition and teardown behavior uniformly across backends.
+	place isolation.Placement
 
 	// Transitions counts sandbox entries (Invoke and host-call
 	// returns re-enter; each entry has a matching exit).
@@ -129,13 +131,23 @@ type Instance struct {
 	hosts map[string]HostFunc
 }
 
+// Slot returns the isolation slot the instance runs in (the zero Slot
+// for unmarked standalone instances).
+func (inst *Instance) Slot() isolation.Slot { return inst.place.Slot }
+
+// Backend returns the isolation backend owning the instance's slot, or
+// nil for standalone instances.
+func (inst *Instance) Backend() isolation.Backend { return inst.place.Backend }
+
 // NewInstance lays out and initializes an instance of mod.
 func NewInstance(mod *Module, opts InstanceOptions) (*Instance, error) {
 	inst := &Instance{
 		Mod:      mod,
-		Pkey:     opts.Pkey,
 		FSGSBASE: opts.FSGSBASE,
 		hosts:    opts.Hosts,
+	}
+	if opts.Place != nil {
+		inst.place = *opts.Place
 	}
 	guard := opts.GuardBytes
 	if guard == 0 {
@@ -150,10 +162,10 @@ func NewInstance(mod *Module, opts InstanceOptions) (*Instance, error) {
 	inst.MemBytes = uint64(m.MemMin) * ir.PageSize
 	inst.MaxBytes = uint64(m.MemMax) * ir.PageSize
 
-	if opts.AS != nil {
-		// Pooling placement: the pool owns heap/guard geometry.
-		inst.AS = opts.AS
-		inst.HeapBase = opts.HeapBase
+	if inst.place.AS != nil {
+		// Pooled placement: the backend owns heap/guard geometry.
+		inst.AS = inst.place.AS
+		inst.HeapBase = inst.place.Slot.Addr
 	} else {
 		inst.AS = mem.NewAS(47)
 		// Reserve [pre-guard][max memory + guard] as PROT_NONE, then
@@ -176,8 +188,8 @@ func NewInstance(mod *Module, opts InstanceOptions) (*Instance, error) {
 			return nil, fmt.Errorf("rt: opening linear memory: %w", err)
 		}
 	}
-	if inst.Pkey != 0 {
-		if err := inst.AS.PkeyMprotect(inst.HeapBase, pageUp(inst.MemBytes), mem.ProtRead|mem.ProtWrite, inst.Pkey); err != nil {
+	if pkey := inst.place.Slot.Pkey; pkey != 0 {
+		if err := inst.AS.PkeyMprotect(inst.HeapBase, pageUp(inst.MemBytes), mem.ProtRead|mem.ProtWrite, pkey); err != nil {
 			return nil, fmt.Errorf("rt: coloring linear memory: %w", err)
 		}
 	}
@@ -250,9 +262,9 @@ func (inst *Instance) transitionIn() {
 	m.Regs[x86.R14] = inst.CtxBase
 
 	// ColorGuard: restrict PKRU to the instance's color.
-	if inst.Pkey != 0 {
+	if pkey := inst.place.Slot.Pkey; pkey != 0 {
 		m.Stats.Cycles += m.Cost.WRPKRU
-		m.PKRU = mem.PkruAllowOnly(inst.Pkey)
+		m.PKRU = mem.PkruAllowOnly(pkey)
 	}
 	inst.Transitions++
 }
@@ -262,10 +274,23 @@ func (inst *Instance) transitionIn() {
 func (inst *Instance) transitionOut() {
 	m := inst.Mach
 	m.Stats.Cycles += transitionBaseCycles
-	if inst.Pkey != 0 {
+	if inst.place.Slot.Pkey != 0 {
 		m.Stats.Cycles += m.Cost.WRPKRU
 		m.PKRU = mem.PkruAllowAll
 	}
+}
+
+// Close tears the instance down. Pooled instances recycle their slot
+// back to the owning backend (charging the backend's teardown cost);
+// standalone instances own their whole address space, which simply
+// becomes unreachable. Close is idempotent.
+func (inst *Instance) Close() error {
+	b := inst.place.Backend
+	if b == nil {
+		return nil
+	}
+	inst.place.Backend = nil
+	return b.Recycle(inst.place.Slot)
 }
 
 // ErrNoExport is returned by Invoke for unknown export names.

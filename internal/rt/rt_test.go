@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/ir"
+	"repro/internal/isolation"
 	"repro/internal/mem"
 	"repro/internal/sfi"
 )
@@ -503,7 +504,7 @@ func TestTransitionCostShape(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		inst, err := NewInstance(mod, InstanceOptions{FSGSBASE: true, Pkey: pkey})
+		inst, err := NewInstance(mod, InstanceOptions{FSGSBASE: true, Place: isolation.Colored(pkey)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -533,7 +534,7 @@ func TestColorGuardIsolation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inst, err := NewInstance(mod, InstanceOptions{FSGSBASE: true, Pkey: 2, GuardBytes: 1 << 20})
+	inst, err := NewInstance(mod, InstanceOptions{FSGSBASE: true, Place: isolation.Colored(2), GuardBytes: 1 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -573,7 +574,7 @@ func TestMemoryGrowAcrossModes(t *testing.T) {
 		if mode == sfi.ModeSegue {
 			pkey = 5 // also check grow+ColorGuard coloring
 		}
-		inst, err := NewInstance(mod, InstanceOptions{FSGSBASE: true, Pkey: pkey})
+		inst, err := NewInstance(mod, InstanceOptions{FSGSBASE: true, Place: isolation.Colored(pkey)})
 		if err != nil {
 			t.Fatalf("%v: %v", mode, err)
 		}
