@@ -36,6 +36,6 @@ bench:
 	$(GO) test -bench . -benchtime 1x .
 
 # Regenerate BENCH_results.json with before/after timings for the
-# SPEC-suite experiments.
+# SPEC-suite experiments, plus the telemetry-counter sidecar.
 results:
-	$(GO) run ./cmd/benchtab -compare -results BENCH_results.json -o /dev/null fig3 fig5 fig4 table2
+	$(GO) run ./cmd/benchtab -compare -results BENCH_results.json -metrics BENCH_metrics.json -o /dev/null fig3 fig5 fig4 table2

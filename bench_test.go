@@ -25,6 +25,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/rt"
 	"repro/internal/sfi"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -158,6 +159,38 @@ func BenchmarkEmulator(b *testing.B) {
 	}
 	b.ReportMetric(float64(inst.Mach.Stats.Insts-before)/float64(b.N), "sim-insts/op")
 }
+
+// benchEmulatorTelemetry is BenchmarkEmulator with the telemetry state
+// pinned. Comparing the Off and On variants bounds what the
+// instrumentation costs the dispatch loop: Off must stay within the
+// noise of BenchmarkEmulator (the gate is one atomic load per Run), and
+// On pays only per-Run counter updates, never per-instruction work.
+func benchEmulatorTelemetry(b *testing.B, on bool) {
+	prev := telemetry.Enabled()
+	telemetry.SetEnabled(on)
+	defer telemetry.SetEnabled(prev)
+	k, err := workloads.Sightglass().Find("seqhash")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod, err := rt.CompileModule(k.Build(false), sfi.DefaultConfig(sfi.ModeSegue))
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := rt.NewInstance(mod, rt.InstanceOptions{FSGSBASE: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.Invoke("run", 10000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEmulatorTelemetryOff(b *testing.B) { benchEmulatorTelemetry(b, false) }
+func BenchmarkEmulatorTelemetryOn(b *testing.B)  { benchEmulatorTelemetry(b, true) }
 
 // BenchmarkInterp measures reference-interpreter throughput, for the
 // differential-testing cost picture.

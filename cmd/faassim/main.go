@@ -19,6 +19,7 @@ import (
 	"repro/internal/faas"
 	"repro/internal/isolation"
 	"repro/internal/sfi"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -33,7 +34,13 @@ func main() {
 	coldStart := flag.Bool("coldstart", false, "fresh instance per request: charge the backend's init/teardown costs (§7)")
 	instanceKB := flag.Uint64("instancekb", 64, "linear-memory KiB the cold-start lifecycle costs are charged on")
 	preserveTags := flag.Bool("preservetags", false, "model the tag-preserving madvise (mte backend only)")
+	latency := flag.Bool("latency", false, "record per-request latency and print p50/p95/p99 columns")
+	tele := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if err := tele.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "faassim:", err)
+		os.Exit(1)
+	}
 
 	kind := isolation.ColorGuard
 	if *backend != "" {
@@ -61,8 +68,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("== %s: compute %.1f µs/request, %d pages ==\n", w.Name, w.ComputeNs/1e3, w.Pages)
-		fmt.Printf("%-6s  %-12s  %-12s  %-8s  %-14s  %-12s\n",
+		fmt.Printf("%-6s  %-12s  %-12s  %-8s  %-14s  %-12s",
 			"procs", "mp rps", shortName(kind)+" rps", "gain", "mp switches", "mp dtlb")
+		if *latency {
+			fmt.Printf("  %-10s  %-10s  %-10s", "cg p50 ms", "cg p95 ms", "cg p99 ms")
+		}
+		fmt.Println()
 		ns := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
 		if *procs > 0 {
 			ns = []int{*procs}
@@ -78,14 +89,24 @@ func main() {
 				cfg.DurationNs = *duration * 1e9
 				cfg.ColdStart = *coldStart
 				cfg.InstanceBytes = *instanceKB << 10
+				cfg.RecordLatency = *latency
 			}
 			cg := faas.Run(cgCfg)
 			mp := faas.Run(mpCfg)
 			gain := (cg.ThroughputRPS/mp.ThroughputRPS - 1) * 100
-			fmt.Printf("%-6d  %-12.0f  %-12.0f  %+.1f%%   %-14d  %-12d\n",
+			fmt.Printf("%-6d  %-12.0f  %-12.0f  %+.1f%%   %-14d  %-12d",
 				n, mp.ThroughputRPS, cg.ThroughputRPS, gain, mp.CtxSwitches, mp.DTLBMisses)
+			if *latency {
+				fmt.Printf("  %-10.2f  %-10.2f  %-10.2f",
+					cg.LatencyP50Ns/1e6, cg.LatencyP95Ns/1e6, cg.LatencyP99Ns/1e6)
+			}
+			fmt.Println()
 		}
 		fmt.Println()
+	}
+	if err := tele.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "faassim:", err)
+		os.Exit(1)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/sfi"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -32,7 +33,12 @@ var modeByName = map[string]sfi.Mode{
 func main() {
 	kernel := flag.String("kernel", "", "compile a benchmark kernel (e.g. sieve, 429_mcf) instead of the Figure 1 demo")
 	modeName := flag.String("mode", "", "single mode to print (default: native, guard, segue side by side)")
+	tele := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if err := tele.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "sfic:", err)
+		os.Exit(1)
+	}
 
 	var m *ir.Module
 	if *kernel != "" {
@@ -67,6 +73,10 @@ func main() {
 			fmt.Print(sfi.Disassemble(f))
 		}
 		fmt.Println()
+	}
+	if err := tele.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "sfic:", err)
+		os.Exit(1)
 	}
 }
 

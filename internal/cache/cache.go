@@ -7,7 +7,16 @@
 //
 // The structures are true LRU and deterministic; costs (cycles per miss)
 // are applied by the CPU emulator, not here.
+//
+// Counters live in plain single-owner fields — each TLB/Cache belongs
+// to one machine or one simulation, and the per-access increment is the
+// hottest line in the emulator, so it must not pay an atomic. The
+// telemetry registry is the export surface instead: accessors expose
+// the counts as read-only views, and PublishTo folds them into
+// registry counters at run boundaries.
 package cache
+
+import "repro/internal/telemetry"
 
 // lruAccess looks tag up in one set's ways, kept in recency order
 // (most recent first), and maintains that order: a hit rotates the way
@@ -42,9 +51,9 @@ type TLB struct {
 	tags     []uint64 // sets*ways entries in recency order; 0 = invalid (vpn+1 stored)
 	pageBits uint
 
-	Hits    uint64
-	Misses  uint64
-	Flushes uint64
+	hits    uint64
+	misses  uint64
+	flushes uint64
 }
 
 // NewTLB returns a TLB with the given total entry count and
@@ -69,7 +78,7 @@ func (t *TLB) Access(vaddr uint64) bool {
 	vpn := vaddr >> t.pageBits
 	base := int(vpn&(t.sets-1)) * t.ways
 	if t.tags[base] == vpn+1 {
-		t.Hits++
+		t.hits++
 		return true
 	}
 	return t.accessRest(base, vpn+1)
@@ -77,10 +86,10 @@ func (t *TLB) Access(vaddr uint64) bool {
 
 func (t *TLB) accessRest(base int, tag uint64) bool {
 	if lruAccess(t.tags[base:base+t.ways], tag) {
-		t.Hits++
+		t.hits++
 		return true
 	}
-	t.Misses++
+	t.misses++
 	return false
 }
 
@@ -90,11 +99,29 @@ func (t *TLB) Flush() {
 	for i := range t.tags {
 		t.tags[i] = 0
 	}
-	t.Flushes++
+	t.flushes++
 }
 
 // ResetStats zeroes the counters without touching entries.
-func (t *TLB) ResetStats() { t.Hits, t.Misses, t.Flushes = 0, 0, 0 }
+func (t *TLB) ResetStats() { t.hits, t.misses, t.flushes = 0, 0, 0 }
+
+// Hits returns the hit count since construction or ResetStats.
+func (t *TLB) Hits() uint64 { return t.hits }
+
+// Misses returns the miss count.
+func (t *TLB) Misses() uint64 { return t.misses }
+
+// Flushes returns the flush count.
+func (t *TLB) Flushes() uint64 { return t.flushes }
+
+// PublishTo adds the TLB's counters into registry counters named
+// <prefix>.hits/.misses/.flushes. Call once per TLB at a run boundary
+// (repeated calls double-count).
+func (t *TLB) PublishTo(r *telemetry.Registry, prefix string) {
+	r.Counter(prefix + ".hits").Add(t.hits)
+	r.Counter(prefix + ".misses").Add(t.misses)
+	r.Counter(prefix + ".flushes").Add(t.flushes)
+}
 
 // Cache is one level of a set-associative data cache with true-LRU
 // replacement. Levels chain through Next; Access recurses on miss.
@@ -105,8 +132,8 @@ type Cache struct {
 	ways     int
 	tags     []uint64 // sets*ways entries in recency order; 0 = invalid (line+1 stored)
 
-	Hits   uint64
-	Misses uint64
+	hits   uint64
+	misses uint64
 
 	// Next is the level below (nil = memory).
 	Next *Cache
@@ -142,7 +169,7 @@ func (c *Cache) Access(addr uint64) int {
 	ln := addr >> c.lineBits
 	base := int(ln&(c.sets-1)) * c.ways
 	if c.tags[base] == ln+1 {
-		c.Hits++
+		c.hits++
 		return 0
 	}
 	return c.accessRest(base, ln+1, addr)
@@ -150,10 +177,10 @@ func (c *Cache) Access(addr uint64) int {
 
 func (c *Cache) accessRest(base int, tag, addr uint64) int {
 	if lruAccess(c.tags[base:base+c.ways], tag) {
-		c.Hits++
+		c.hits++
 		return 0
 	}
-	c.Misses++
+	c.misses++
 	if c.Next != nil {
 		return 1 + c.Next.Access(addr)
 	}
@@ -172,10 +199,41 @@ func (c *Cache) Flush() {
 
 // ResetStats zeroes counters at this level and below.
 func (c *Cache) ResetStats() {
-	c.Hits, c.Misses = 0, 0
+	c.hits, c.misses = 0, 0
 	if c.Next != nil {
 		c.Next.ResetStats()
 	}
+}
+
+// Hits returns this level's hit count.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns this level's miss count.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// PublishTo adds this level's (and lower levels') counters into
+// registry counters named <prefix>.<level-name>.hits/.misses, with the
+// level name lowercased from Name. Call once per cache at a run
+// boundary.
+func (c *Cache) PublishTo(r *telemetry.Registry, prefix string) {
+	name := prefix + "." + lowerName(c.Name)
+	r.Counter(name + ".hits").Add(c.hits)
+	r.Counter(name + ".misses").Add(c.misses)
+	if c.Next != nil {
+		c.Next.PublishTo(r, prefix)
+	}
+}
+
+// lowerName lowercases ASCII letters (avoiding a strings import on this
+// otherwise dependency-free hot package).
+func lowerName(s string) string {
+	b := []byte(s)
+	for i, ch := range b {
+		if ch >= 'A' && ch <= 'Z' {
+			b[i] = ch + 'a' - 'A'
+		}
+	}
+	return string(b)
 }
 
 // Hierarchy bundles the default memory-hierarchy configuration used by
@@ -209,12 +267,19 @@ func (h *Hierarchy) Flush() {
 // here rather than going through TLB.Access and Cache.Access. It
 // returns the dTLB outcome and the number of cache levels missed,
 // with identical counter updates to calling the two lookups directly.
+// PublishTo adds the whole hierarchy's counters into the registry
+// under <prefix>.dtlb and <prefix>.<cache-level> names.
+func (h *Hierarchy) PublishTo(r *telemetry.Registry, prefix string) {
+	h.DTLB.PublishTo(r, prefix+".dtlb")
+	h.L1D.PublishTo(r, prefix)
+}
+
 func (h *Hierarchy) Access(addr uint64) (tlbHit bool, missLevels int) {
 	t := h.DTLB
 	vpn := addr >> t.pageBits
 	tb := int(vpn&(t.sets-1)) * t.ways
 	if t.tags[tb] == vpn+1 {
-		t.Hits++
+		t.hits++
 		tlbHit = true
 	} else {
 		tlbHit = t.accessRest(tb, vpn+1)
@@ -223,7 +288,7 @@ func (h *Hierarchy) Access(addr uint64) (tlbHit bool, missLevels int) {
 	ln := addr >> c.lineBits
 	cb := int(ln&(c.sets-1)) * c.ways
 	if c.tags[cb] == ln+1 {
-		c.Hits++
+		c.hits++
 	} else {
 		missLevels = c.accessRest(cb, ln+1, addr)
 	}

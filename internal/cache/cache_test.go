@@ -1,6 +1,10 @@
 package cache
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
 
 func TestTLBHitMiss(t *testing.T) {
 	tlb := NewTLB(64, 4)
@@ -10,8 +14,8 @@ func TestTLBHitMiss(t *testing.T) {
 	if !tlb.Access(0x1008) {
 		t.Fatal("same page should hit")
 	}
-	if tlb.Hits != 1 || tlb.Misses != 1 {
-		t.Fatalf("hits=%d misses=%d", tlb.Hits, tlb.Misses)
+	if tlb.Hits() != 1 || tlb.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d", tlb.Hits(), tlb.Misses())
 	}
 }
 
@@ -39,8 +43,8 @@ func TestTLBFlush(t *testing.T) {
 	if tlb.Access(0x5000) {
 		t.Error("access after flush should miss")
 	}
-	if tlb.Flushes != 1 {
-		t.Errorf("Flushes = %d", tlb.Flushes)
+	if tlb.Flushes() != 1 {
+		t.Errorf("Flushes = %d", tlb.Flushes())
 	}
 }
 
@@ -75,7 +79,7 @@ func TestCacheWorkingSetEffect(t *testing.T) {
 				h.L1D.Access(i * elemSize)
 			}
 		}
-		return h.L1D.Misses
+		return h.L1D.Misses()
 	}
 	m4, m8 := run(4), run(8)
 	if m4 >= m8 {
@@ -93,6 +97,27 @@ func TestHierarchyFlush(t *testing.T) {
 	}
 	if h.DTLB.Access(0x3000) {
 		t.Error("after flush, TLB should miss")
+	}
+}
+
+func TestHierarchyPublishTo(t *testing.T) {
+	h := NewHierarchy()
+	h.DTLB.Access(0x1000) // miss
+	h.DTLB.Access(0x1008) // hit
+	h.L1D.Access(0x1000)  // misses L1 and L2
+	h.L1D.Access(0x1010)  // hits L1
+	r := telemetry.NewRegistry()
+	h.PublishTo(r, "cpu")
+	for name, want := range map[string]uint64{
+		"cpu.dtlb.hits":   1,
+		"cpu.dtlb.misses": 1,
+		"cpu.l1d.hits":    1,
+		"cpu.l1d.misses":  1,
+		"cpu.l2.misses":   1,
+	} {
+		if got := r.Counter(name).Load(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/mem"
+	"repro/internal/telemetry"
 	"repro/internal/x86"
 )
 
@@ -473,6 +474,16 @@ func (m *Machine) predictBranch(fn, pc int, taken bool) {
 	}
 }
 
+// Telemetry counters, published once per Run call — never from inside
+// the dispatch loops, whose per-instruction cost must stay free of
+// atomics. With telemetry disabled the only added work is one atomic
+// load per Run.
+var (
+	ctrDispatchFast = telemetry.Default.Counter("cpu.dispatch.fast")
+	ctrDispatchSlow = telemetry.Default.Counter("cpu.dispatch.slow")
+	ctrInstsRetired = telemetry.Default.Counter("cpu.insts_retired")
+)
+
 // Run executes until the outermost function returns, a trap occurs, or
 // the epoch deadline fires. After a resumable TrapEpoch, calling Run
 // again continues execution.
@@ -481,10 +492,23 @@ func (m *Machine) predictBranch(fn, pc int, taken bool) {
 // force the original portable loop (the differential-testing oracle).
 // Both paths produce bit-identical architectural state and Stats.
 func (m *Machine) Run() error {
-	if m.SlowPath {
-		return m.runSlow()
+	if !telemetry.Enabled() {
+		if m.SlowPath {
+			return m.runSlow()
+		}
+		return m.runFast()
 	}
-	return m.runFast()
+	before := m.Stats.Insts
+	var err error
+	if m.SlowPath {
+		ctrDispatchSlow.Inc()
+		err = m.runSlow()
+	} else {
+		ctrDispatchFast.Inc()
+		err = m.runFast()
+	}
+	ctrInstsRetired.Add(m.Stats.Insts - before)
+	return err
 }
 
 // runSlow is the original interpreter loop: operand kinds, segment

@@ -4,8 +4,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/sfi"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -53,28 +55,70 @@ func parallelMap[T, R any](items []T, f func(T) (R, error)) ([]R, []error) {
 	if workers > n {
 		workers = n
 	}
+
+	// exec runs one item; when telemetry is on it is wrapped to count
+	// the cell, accumulate wall time, and emit a span on the wall-time
+	// trace track (tid = worker). Results are unaffected either way.
+	exec := func(i, worker int) {
+		res[i], errs[i] = f(items[i])
+	}
+	tele := telemetry.Enabled()
+	var cellNs atomic.Uint64
+	if tele {
+		ctrCells := telemetry.Default.Counter("exp.cells")
+		ctrCellNs := telemetry.Default.Counter("exp.cell_wall_ns")
+		inner := exec
+		exec = func(i, worker int) {
+			start := telemetry.Trace.Now()
+			t0 := time.Now()
+			inner(i, worker)
+			d := uint64(time.Since(t0))
+			ctrCells.Inc()
+			ctrCellNs.Add(d)
+			cellNs.Add(d)
+			telemetry.Trace.Span("cell", "exp", telemetry.PidWall, worker,
+				start, float64(d))
+		}
+	}
+	mapStart := time.Now()
+
 	if workers <= 1 {
 		for i := range items {
-			res[i], errs[i] = f(items[i])
+			exec(i, 0)
 		}
-		return res, errs
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					exec(i, worker)
 				}
-				res[i], errs[i] = f(items[i])
-			}
-		}()
+			}(w)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+
+	if tele && n > 0 {
+		// Pool-level gauges describe the most recent fan-out: worker
+		// count, fraction of worker-seconds spent inside cells, and
+		// measured cell throughput.
+		if workers < 1 {
+			workers = 1
+		}
+		telemetry.Default.Gauge("exp.workers").Set(int64(workers))
+		if elapsed := time.Since(mapStart); elapsed > 0 {
+			util := float64(cellNs.Load()) / (float64(elapsed) * float64(workers)) * 100
+			telemetry.Default.Gauge("exp.worker_utilization_pct").Set(int64(util + 0.5))
+			telemetry.Default.Gauge("exp.cells_per_sec").Set(int64(float64(n)/elapsed.Seconds() + 0.5))
+		}
+	}
 	return res, errs
 }
 

@@ -17,6 +17,7 @@ import (
 	"repro/internal/rt"
 	"repro/internal/sfi"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -73,6 +74,9 @@ func MeasureKernel(k workloads.Kernel, cfg sfi.Config, args []uint64) (Measureme
 		return Measurement{}, fmt.Errorf("exp: %s/%v: %w", k.Name, cfg.Mode, err)
 	}
 	addSimCycles(inst.Mach.Stats.Cycles)
+	if telemetry.Enabled() {
+		inst.Mach.Hier.PublishTo(telemetry.Default, "cpu")
+	}
 	m := Measurement{
 		Cycles:       inst.Mach.Stats.Cycles,
 		Nanos:        inst.Mach.Stats.Nanos(&inst.Mach.Cost),

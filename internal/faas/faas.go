@@ -20,6 +20,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/isolation"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Workload describes one handler's per-request behaviour, measured
@@ -75,6 +76,11 @@ type Config struct {
 	ArrivalsPerEpoch int
 	// DurationNs is the simulated wall-clock length.
 	DurationNs float64
+
+	// RecordLatency keeps every completed request's arrival-to-completion
+	// time in Result.Latencies and fills the LatencyP* percentiles. Off
+	// by default so bulk experiment sweeps pay no per-request append.
+	RecordLatency bool
 
 	Seed uint64
 }
@@ -147,6 +153,15 @@ type Result struct {
 	// LifecycleNs is the virtual time spent in instance init/teardown
 	// (ColdStart runs only).
 	LifecycleNs float64
+
+	// Latencies holds each completed request's arrival-to-completion
+	// virtual time in ns, in completion order (RecordLatency runs only).
+	Latencies []float64
+	// LatencyP50Ns/P95Ns/P99Ns are percentiles over Latencies
+	// (RecordLatency runs only).
+	LatencyP50Ns float64
+	LatencyP95Ns float64
+	LatencyP99Ns float64
 }
 
 // Scheduling constants. The transition and process-switch costs now
@@ -170,6 +185,7 @@ const (
 
 // task is one in-flight request.
 type task struct {
+	arrivedAt float64 // when the request arrived
 	readyAt   float64 // when IO completes
 	computeNs float64 // compute remaining
 	proc      int
@@ -201,6 +217,20 @@ func Run(cfg Config) Result {
 	rng := stats.NewRNG(cfg.Seed)
 	// A Raptor-Lake-sized second-level dTLB.
 	tlb := cache.NewTLB(2048, 8)
+
+	// Telemetry is resolved once per run; when disabled the simulation
+	// body pays nothing beyond the captured booleans.
+	tele := telemetry.Enabled()
+	tracing := telemetry.Trace.Enabled()
+	var (
+		qDepth  *telemetry.Gauge
+		latHist *telemetry.Histogram
+	)
+	if tele {
+		qDepth = telemetry.Default.Gauge("faas.queue_depth")
+		latHist = telemetry.Default.Histogram("faas.request_latency_ns",
+			telemetry.ExpBuckets(1e5, 2, 24))
+	}
 
 	trans := cfg.Trans
 	if trans == (isolation.TransitionCost{}) {
@@ -245,6 +275,7 @@ func Run(cfg Config) Result {
 		for i := 0; i < cfg.ArrivalsPerEpoch; i++ {
 			jitter := 0.75 + 0.5*rng.Float64()
 			t := &task{
+				arrivedAt: clock,
 				readyAt:   clock + float64(rng.Poisson(cfg.IODelayMeanNs/1e3))*1e3,
 				computeNs: cfg.Workload.ComputeNs * jitter,
 				proc:      (res.Completed + inFlight) % cfg.Processes,
@@ -256,6 +287,9 @@ func Run(cfg Config) Result {
 				res.MaxConcurrent = inFlight
 			}
 			heap.Push(&io, t)
+		}
+		if tele {
+			qDepth.Set(int64(inFlight))
 		}
 	}
 
@@ -289,6 +323,10 @@ func Run(cfg Config) Result {
 	nextEpoch = cfg.EpochNs
 	for clock < cfg.DurationNs {
 		for clock >= nextEpoch {
+			if tracing {
+				telemetry.Trace.Span("epoch", "faas", telemetry.PidVirtual, 0,
+					nextEpoch-cfg.EpochNs, cfg.EpochNs)
+			}
 			arrive()
 			nextEpoch += cfg.EpochNs
 		}
@@ -296,6 +334,10 @@ func Run(cfg Config) Result {
 			clock += procSwitchNs
 			tlb.Flush()
 			res.CtxSwitches++
+			if tracing {
+				telemetry.Trace.Instant("ctx-switch (background)", "faas",
+					telemetry.PidVirtual, 0, clock)
+			}
 			nextBackground += backgroundSwitchNs
 		}
 		drainIO()
@@ -318,6 +360,10 @@ func Run(cfg Config) Result {
 					tlb.Flush()
 				}
 				res.CtxSwitches++
+				if tracing {
+					telemetry.Trace.Instant("ctx-switch", "faas",
+						telemetry.PidVirtual, p+1, clock)
+				}
 			}
 			lastProc = p
 		}
@@ -334,6 +380,7 @@ func Run(cfg Config) Result {
 				sliceEnd = clock + slice
 			}
 		}
+		sliceStart := clock
 		for len(ready[p]) > 0 && clock < sliceEnd && clock < cfg.DurationNs {
 			t := ready[p][0]
 			ready[p] = ready[p][1:]
@@ -364,14 +411,34 @@ func Run(cfg Config) Result {
 			clock += run
 			res.Completed++
 			inFlight--
+			lat := clock - t.arrivedAt
+			if cfg.RecordLatency {
+				res.Latencies = append(res.Latencies, lat)
+			}
+			if tele {
+				latHist.Observe(lat)
+				qDepth.Set(int64(inFlight))
+			}
 			if cfg.ColdStart {
 				teardown := cfg.Lifecycle.TeardownNs(cfg.InstanceBytes)
 				clock += teardown
 				res.LifecycleNs += teardown
 			}
 		}
+		if tracing && clock > sliceStart {
+			telemetry.Trace.Span("slice", "faas", telemetry.PidVirtual, p+1,
+				sliceStart, clock-sliceStart)
+		}
 	}
 	res.ThroughputRPS = float64(res.Completed) / (cfg.DurationNs / 1e9)
+	if len(res.Latencies) > 0 {
+		res.LatencyP50Ns = stats.Percentile(res.Latencies, 50)
+		res.LatencyP95Ns = stats.Percentile(res.Latencies, 95)
+		res.LatencyP99Ns = stats.Percentile(res.Latencies, 99)
+	}
+	if tele {
+		tlb.PublishTo(telemetry.Default, "faas.dtlb")
+	}
 	return res
 }
 

@@ -1,6 +1,7 @@
 package faas
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/isolation"
@@ -30,7 +31,7 @@ func TestBackendConfigMatchesLegacy(t *testing.T) {
 	for _, c := range cases {
 		legacy := Run(DefaultConfig(diffWorkload, c.processes, c.colorGuard))
 		backend := Run(KindConfig(diffWorkload, c.kind, c.processes))
-		if legacy != backend {
+		if !reflect.DeepEqual(legacy, backend) {
 			t.Fatalf("%s/%d: backend result %+v != legacy result %+v", c.kind, c.processes, backend, legacy)
 		}
 	}
@@ -42,7 +43,7 @@ func TestZeroValueConfigDerivesLegacyCosts(t *testing.T) {
 	base := DefaultConfig(diffWorkload, 3, true)
 	bare := base
 	bare.Trans = isolation.TransitionCost{}
-	if Run(base) != Run(bare) {
+	if !reflect.DeepEqual(Run(base), Run(bare)) {
 		t.Fatal("zero-value Trans did not fall back to the flag-derived model")
 	}
 }

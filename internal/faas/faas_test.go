@@ -1,6 +1,11 @@
 package faas
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/stats"
+)
 
 var testWorkload = Workload{Name: "test", ComputeNs: 28_000, Pages: 48}
 
@@ -72,7 +77,7 @@ func TestTransitionAccounting(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	a := Run(DefaultConfig(testWorkload, 8, false))
 	b := Run(DefaultConfig(testWorkload, 8, false))
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Errorf("non-deterministic simulation: %+v vs %+v", a, b)
 	}
 }
@@ -102,5 +107,50 @@ func TestUnderLoad(t *testing.T) {
 	diff := (cg.ThroughputRPS/mp.ThroughputRPS - 1) * 100
 	if diff > 3 || diff < -3 {
 		t.Errorf("under light load the strategies should tie; got %.2f%% difference", diff)
+	}
+}
+
+// TestRecordLatencyPercentiles: with RecordLatency set, Run keeps every
+// completed request's latency and the reported percentiles are exactly
+// stats.Percentile over that sample; without it, recording costs
+// nothing and the rest of the Result is unchanged.
+func TestRecordLatencyPercentiles(t *testing.T) {
+	cfg := DefaultConfig(testWorkload, 4, false)
+	cfg.RecordLatency = true
+	r := Run(cfg)
+	if len(r.Latencies) != r.Completed {
+		t.Fatalf("recorded %d latencies for %d completions", len(r.Latencies), r.Completed)
+	}
+	for _, c := range []struct {
+		q    float64
+		got  float64
+		name string
+	}{
+		{50, r.LatencyP50Ns, "p50"},
+		{95, r.LatencyP95Ns, "p95"},
+		{99, r.LatencyP99Ns, "p99"},
+	} {
+		if want := stats.Percentile(r.Latencies, c.q); c.got != want {
+			t.Errorf("%s = %g, want stats.Percentile = %g", c.name, c.got, want)
+		}
+	}
+	if !(r.LatencyP50Ns > 0 && r.LatencyP50Ns <= r.LatencyP95Ns && r.LatencyP95Ns <= r.LatencyP99Ns) {
+		t.Errorf("percentiles not ordered: p50=%g p95=%g p99=%g",
+			r.LatencyP50Ns, r.LatencyP95Ns, r.LatencyP99Ns)
+	}
+	// A request's latency is at least its IO wait; the p50 should be on
+	// the order of the 5 ms Poisson IO delay, not nanoseconds.
+	if r.LatencyP50Ns < 1e5 {
+		t.Errorf("p50 %g ns implausibly small", r.LatencyP50Ns)
+	}
+
+	off := Run(DefaultConfig(testWorkload, 4, false))
+	if off.Latencies != nil || off.LatencyP50Ns != 0 {
+		t.Error("latencies recorded without RecordLatency")
+	}
+	// Recording must not perturb the simulation itself.
+	r.Latencies, r.LatencyP50Ns, r.LatencyP95Ns, r.LatencyP99Ns = nil, 0, 0, 0
+	if !reflect.DeepEqual(r, off) {
+		t.Errorf("RecordLatency changed the simulation: %+v vs %+v", r, off)
 	}
 }

@@ -32,7 +32,11 @@ func (b *colorGuard) Color(s Slot, bytes uint64) error {
 	if s.Pkey == 0 || bytes == 0 {
 		return nil
 	}
-	return b.as.PkeyMprotect(s.Addr, pageUp(bytes), mem.ProtRead|mem.ProtWrite, s.Pkey)
+	if err := b.as.PkeyMprotect(s.Addr, pageUp(bytes), mem.ProtRead|mem.ProtWrite, s.Pkey); err != nil {
+		return err
+	}
+	b.ctrColor.Inc()
+	return nil
 }
 
 func pageUp(n uint64) uint64 {

@@ -61,6 +61,10 @@ func (b *mteBackend) Allocate(initialBytes uint64) (Slot, error) {
 		delete(b.retag, sl.Index)
 	}
 	b.initNs += b.life.InitNs(initialBytes, recolor)
+	b.ctrAlloc.Inc()
+	if recolor {
+		b.ctrColor.Inc()
+	}
 	return sl, nil
 }
 
@@ -75,6 +79,7 @@ func (b *mteBackend) Color(s Slot, bytes uint64) error {
 	}
 	b.tags.TagRange(s.Addr, bytes, s.Tag)
 	b.initNs += b.life.ColorNsPerByte * float64(bytes)
+	b.ctrColor.Inc()
 	return nil
 }
 
@@ -101,6 +106,7 @@ func (b *mteBackend) Recycle(s Slot) error {
 		return err
 	}
 	b.teardownNs += b.life.TeardownNs(s.MaxBytes)
+	b.ctrRecycle.Inc()
 	if b.life.RecolorOnReuse {
 		// madvise discarded the tags with the pages.
 		b.tags.ClearRange(s.Addr, s.MaxBytes)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/pool"
+	"repro/internal/telemetry"
 )
 
 // Backend state errors.
@@ -28,6 +29,16 @@ type slab struct {
 
 	initNs     float64
 	teardownNs float64
+
+	// Lifecycle telemetry (isolation.<kind>.allocates/.recycles/.grows/
+	// .colors), bound by Reserve. Lifecycle events are per-instance, not
+	// per-instruction, so the single atomic add per event is paid
+	// unconditionally. Nil only before Reserve, and every count site is
+	// behind the s.p != nil check.
+	ctrAlloc   *telemetry.Counter
+	ctrRecycle *telemetry.Counter
+	ctrGrow    *telemetry.Counter
+	ctrColor   *telemetry.Counter
 }
 
 func (s *slab) Kind() Kind { return s.kind }
@@ -43,6 +54,11 @@ func (s *slab) Reserve(as *mem.AS, cfg Config) error {
 	s.as, s.cfg, s.p = as, cfg, p
 	s.trans = TransitionFor(s.kind)
 	s.life = LifecycleFor(s.kind, cfg.PreserveTagsOnMadvise)
+	pfx := "isolation." + string(s.kind)
+	s.ctrAlloc = telemetry.Default.Counter(pfx + ".allocates")
+	s.ctrRecycle = telemetry.Default.Counter(pfx + ".recycles")
+	s.ctrGrow = telemetry.Default.Counter(pfx + ".grows")
+	s.ctrColor = telemetry.Default.Counter(pfx + ".colors")
 	return nil
 }
 
@@ -58,6 +74,10 @@ func (s *slab) allocate(initialBytes uint64, recolor bool) (Slot, error) {
 		return Slot{}, err
 	}
 	s.initNs += s.life.InitNs(initialBytes, recolor)
+	s.ctrAlloc.Inc()
+	if recolor || ps.Pkey != 0 {
+		s.ctrColor.Inc()
+	}
 	return Slot{Index: ps.Index, Addr: ps.Addr, Pkey: ps.Pkey, MaxBytes: ps.MaxBytes}, nil
 }
 
@@ -74,7 +94,11 @@ func (s *slab) Grow(sl Slot, upTo uint64) error {
 	if s.p == nil {
 		return ErrNotReserved
 	}
-	return s.p.Grow(poolSlot(sl), upTo)
+	if err := s.p.Grow(poolSlot(sl), upTo); err != nil {
+		return err
+	}
+	s.ctrGrow.Inc()
+	return nil
 }
 
 func (s *slab) Recycle(sl Slot) error {
@@ -85,6 +109,7 @@ func (s *slab) Recycle(sl Slot) error {
 		return err
 	}
 	s.teardownNs += s.life.TeardownNs(sl.MaxBytes)
+	s.ctrRecycle.Inc()
 	return nil
 }
 

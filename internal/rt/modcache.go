@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/sfi"
+	"repro/internal/telemetry"
 )
 
 // ModuleKey identifies a compiled module for the compile cache: the
@@ -30,14 +31,20 @@ type cacheEntry struct {
 	err  error
 }
 
+// The hit/miss tallies live on the telemetry registry — the same single
+// atomic add the private atomics used to be, but inspectable through
+// every -metrics snapshot. ModuleCacheStats stays as a thin view.
 type moduleCache struct {
 	m        sync.Map // ModuleKey -> *cacheEntry
-	hits     atomic.Uint64
-	misses   atomic.Uint64
+	hits     *telemetry.Counter
+	misses   *telemetry.Counter
 	disabled atomic.Bool
 }
 
-var modCache moduleCache
+var modCache = moduleCache{
+	hits:   telemetry.Default.Counter("rt.modcache.hits"),
+	misses: telemetry.Default.Counter("rt.modcache.misses"),
+}
 
 // CompileModuleCached returns the compiled module for key, building and
 // compiling it on first use. build is only invoked on a cache miss.
@@ -52,11 +59,11 @@ func CompileModuleCached(key ModuleKey, build func() *ir.Module) (*Module, error
 	compiled := false
 	e.once.Do(func() {
 		compiled = true
-		modCache.misses.Add(1)
+		modCache.misses.Inc()
 		e.mod, e.err = CompileModule(build(), key.Cfg)
 	})
 	if !compiled {
-		modCache.hits.Add(1)
+		modCache.hits.Inc()
 	}
 	return e.mod, e.err
 }
@@ -72,8 +79,8 @@ func ResetModuleCache() {
 		modCache.m.Delete(k)
 		return true
 	})
-	modCache.hits.Store(0)
-	modCache.misses.Store(0)
+	modCache.hits.Reset()
+	modCache.misses.Reset()
 }
 
 // ModuleCacheStats returns the hit and miss counts since the last

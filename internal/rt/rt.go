@@ -16,8 +16,22 @@ import (
 	"repro/internal/isolation"
 	"repro/internal/mem"
 	"repro/internal/sfi"
+	"repro/internal/telemetry"
 	"repro/internal/x86"
 )
+
+// Per-backend transition counters (rt.transitions.<kind>), resolved
+// once here so transitionIn pays at most one atomic add. Instances
+// without a backend count under "standalone".
+var transCounters = func() map[isolation.Kind]*telemetry.Counter {
+	m := map[isolation.Kind]*telemetry.Counter{
+		"": telemetry.Default.Counter("rt.transitions.standalone"),
+	}
+	for _, k := range isolation.Kinds() {
+		m[k] = telemetry.Default.Counter("rt.transitions." + string(k))
+	}
+	return m
+}()
 
 // Module is a compiled module ready for instantiation.
 type Module struct {
@@ -267,6 +281,13 @@ func (inst *Instance) transitionIn() {
 		m.PKRU = mem.PkruAllowOnly(pkey)
 	}
 	inst.Transitions++
+	if telemetry.Enabled() {
+		var k isolation.Kind
+		if b := inst.place.Backend; b != nil {
+			k = b.Kind()
+		}
+		transCounters[k].Inc()
+	}
 }
 
 // transitionOut charges the cost of leaving the sandbox and lifts the

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
 
 // Mode selects the isolation scheme.
@@ -209,7 +210,12 @@ func (mt *Meta) FuncIndex(irIdx uint32) int {
 // Compile lowers every function in the module under cfg. The module
 // must validate. Host slots in the returned program are left nil; the
 // runtime binds them.
+// ctrCompiles counts every Compile invocation; together with
+// rt.modcache.hits it shows how much work the compile cache saves.
+var ctrCompiles = telemetry.Default.Counter("sfi.compiles")
+
 func Compile(m *ir.Module, cfg Config) (*cpu.Program, *Meta, error) {
+	ctrCompiles.Inc()
 	if !m.Validated() {
 		if err := m.Validate(); err != nil {
 			return nil, nil, err

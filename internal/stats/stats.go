@@ -71,6 +71,31 @@ func Median(xs []float64) float64 {
 	return (cp[n/2-1] + cp[n/2]) / 2
 }
 
+// Percentile returns the q-th percentile (q in [0, 100]) of xs using
+// linear interpolation between closest ranks, without modifying xs.
+// An empty slice yields 0; q outside [0, 100] clamps to the extremes.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	if q <= 0 {
+		return cp[0]
+	}
+	if q >= 100 {
+		return cp[len(cp)-1]
+	}
+	pos := q / 100 * float64(len(cp)-1)
+	i := int(pos)
+	if i+1 >= len(cp) {
+		return cp[len(cp)-1]
+	}
+	frac := pos - float64(i)
+	return cp[i] + frac*(cp[i+1]-cp[i])
+}
+
 // Min returns the smallest element of xs, or 0 for an empty slice.
 func Min(xs []float64) float64 {
 	if len(xs) == 0 {

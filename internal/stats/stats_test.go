@@ -132,3 +132,96 @@ func TestIntnPanics(t *testing.T) {
 	}()
 	NewRNG(1).Intn(0)
 }
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 1, 9, 2, 8, 3, 7, 4, 6, 5} // 1..10 shuffled
+	for _, c := range []struct{ q, want float64 }{
+		{0, 1}, {100, 10}, {-5, 1}, {150, 10},
+		{50, 5.5},  // pos 4.5 between 5 and 6
+		{25, 3.25}, // pos 2.25 between 3 and 4
+		{95, 9.55}, // pos 8.55 between 9 and 10
+		{99, 9.91},
+	} {
+		if got := Percentile(xs, c.q); !almost(got, c.want, 1e-12) {
+			t.Errorf("Percentile(q=%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(nil) should be 0")
+	}
+	if Percentile([]float64{7}, 99) != 7 {
+		t.Error("single-element percentile should be that element")
+	}
+	// Percentile must not mutate its argument.
+	if xs[0] != 10 || xs[9] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+// TestUniformMoments: Float64 under a fixed seed matches the first two
+// moments of U[0,1) — mean 1/2 and variance 1/12 — and stays in range.
+func TestUniformMoments(t *testing.T) {
+	r := NewRNG(17)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		u := r.Float64()
+		if u < 0 || u >= 1 {
+			t.Fatalf("Float64 out of range: %g", u)
+		}
+		sum += u
+		sumSq += u * u
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if !almost(mean, 0.5, 0.005) {
+		t.Errorf("uniform mean = %g", mean)
+	}
+	if !almost(variance, 1.0/12, 0.005) {
+		t.Errorf("uniform variance = %g, want %g", variance, 1.0/12)
+	}
+}
+
+// TestExpMoments: an exponential with mean m has variance m².
+func TestExpMoments(t *testing.T) {
+	const mean = 5.0
+	r := NewRNG(23)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.Exp(mean)
+		if x < 0 {
+			t.Fatalf("Exp returned negative %g", x)
+		}
+		sum += x
+		sumSq += x * x
+	}
+	m := sum / n
+	variance := sumSq/n - m*m
+	if !almost(m, mean, mean*0.03) {
+		t.Errorf("Exp(%g) sample mean = %g", mean, m)
+	}
+	if !almost(variance, mean*mean, mean*mean*0.08) {
+		t.Errorf("Exp(%g) sample variance = %g, want %g", mean, variance, mean*mean)
+	}
+}
+
+// TestPoissonVariance: a Poisson's variance equals its mean, on both
+// the Knuth path (small means) and the normal-approximation path.
+func TestPoissonVariance(t *testing.T) {
+	for _, mean := range []float64{4, 200} {
+		r := NewRNG(29)
+		const n = 100000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			x := float64(r.Poisson(mean))
+			sum += x
+			sumSq += x * x
+		}
+		m := sum / n
+		variance := sumSq/n - m*m
+		if !almost(variance, mean, mean*0.08+0.3) {
+			t.Errorf("Poisson(%g) sample variance = %g", mean, variance)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// CLI bundles the telemetry command-line surface shared by cmd/benchtab,
+// cmd/faassim, and cmd/sfic: -metrics, -trace, and -pprof.
+type CLI struct {
+	Metrics string // snapshot path, "-" for stdout
+	Trace   string // Chrome trace-event output path
+	Pprof   string // pprof/expvar listen address
+
+	stopPprof func() error
+}
+
+// RegisterFlags declares the telemetry flags on fs and returns the
+// holder to Start before the run and Finish after it.
+func RegisterFlags(fs *flag.FlagSet) *CLI {
+	c := &CLI{}
+	fs.StringVar(&c.Metrics, "metrics", "", `write a metrics snapshot as JSON to this path ("-" = stdout)`)
+	fs.StringVar(&c.Trace, "trace", "", "record a Chrome trace-event file here (load in chrome://tracing)")
+	fs.StringVar(&c.Pprof, "pprof", "", "serve net/http/pprof and /debug/vars on this address (e.g. localhost:6060)")
+	return c
+}
+
+// Active reports whether any telemetry flag was set.
+func (c *CLI) Active() bool { return c.Metrics != "" || c.Trace != "" || c.Pprof != "" }
+
+// Start enables the telemetry the flags ask for. Call after flag.Parse.
+func (c *CLI) Start() error {
+	if c.Active() {
+		SetEnabled(true)
+	}
+	if c.Trace != "" {
+		Trace.Enable()
+	}
+	if c.Pprof != "" {
+		addr, stop, err := StartProfiling(c.Pprof, Default)
+		if err != nil {
+			return fmt.Errorf("telemetry: starting pprof server: %w", err)
+		}
+		c.stopPprof = stop
+		fmt.Fprintf(os.Stderr, "[pprof serving on http://%s/debug/pprof]\n", addr)
+	}
+	return nil
+}
+
+// Finish writes the requested outputs: the trace file and the metrics
+// snapshot. Call once at the end of a successful run.
+func (c *CLI) Finish() error {
+	if c.Trace != "" {
+		Trace.Disable()
+		f, err := os.Create(c.Trace)
+		if err != nil {
+			return err
+		}
+		if err := Trace.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if n := Trace.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "[trace ring overflowed: %d oldest events dropped]\n", n)
+		}
+		fmt.Fprintf(os.Stderr, "[wrote %s]\n", c.Trace)
+	}
+	if c.Metrics != "" {
+		data := Default.Snapshot().JSON()
+		if c.Metrics == "-" {
+			if _, err := os.Stdout.Write(data); err != nil {
+				return err
+			}
+		} else {
+			if err := os.WriteFile(c.Metrics, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "[wrote %s]\n", c.Metrics)
+		}
+	}
+	if c.stopPprof != nil {
+		return c.stopPprof()
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
+	"sync"
+)
+
+var expvarOnce sync.Once
+
+// StartProfiling serves the Go profiling endpoints (/debug/pprof) and
+// the expvar page (/debug/vars, with the registry's snapshot published
+// as "telemetry") on addr. It returns the bound address (useful with
+// ":0") and a shutdown function. Opt-in only: nothing listens unless a
+// command was started with -pprof.
+func StartProfiling(addr string, r *Registry) (string, func() error, error) {
+	expvarOnce.Do(func() {
+		expvar.Publish("telemetry", expvar.Func(func() any { return r.Snapshot() }))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: http.DefaultServeMux}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	return ln.Addr().String(), srv.Close, nil
+}

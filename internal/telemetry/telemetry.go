@@ -1,0 +1,52 @@
+// Package telemetry is the deterministic observability layer shared by
+// the runtime, the simulators, and the experiment engine: a metrics
+// registry (atomic counters, gauges, fixed-bucket histograms) whose
+// snapshots render to sorted-key JSON/text so output is byte-stable, an
+// event tracer recording spans and instants into a ring buffer and
+// exporting Chrome trace-event JSON (chrome://tracing), and opt-in
+// profiling hooks (net/http/pprof plus an expvar bridge).
+//
+// Design constraints, in order:
+//
+//  1. Telemetry never touches the golden output path. No simulated cost
+//     is ever charged from here; enabling or disabling telemetry leaves
+//     every figure and table byte-identical.
+//  2. Hot-path cost with telemetry compiled in but disabled is a single
+//     atomic load or add, or less. The emulator's per-instruction
+//     dispatch loop and the cache hierarchy's per-access counters stay
+//     plain single-owner fields; they are published into the registry
+//     at run boundaries instead of paying an atomic per event (see
+//     cache.Hierarchy.PublishTo and cpu.Machine.Run).
+//  3. Virtual time is first-class: the FaaS simulator and the emulator
+//     trace in virtual nanoseconds, the experiment engine in wall time,
+//     on separate trace tracks (PidVirtual / PidWall).
+//
+// Low-frequency counters (module-cache hits, compiles, slot lifecycle
+// events) are always live — they cost the same atomic add their
+// pre-registry versions did. Per-run collection of machine and
+// hierarchy statistics is gated on Enabled, and tracing on
+// Trace.Enabled, so the default-off configuration does no extra work.
+package telemetry
+
+import "sync/atomic"
+
+// enabled gates the per-run collection paths (machine-stat publishing,
+// gauge updates, histogram observations). It does not gate plain
+// counters, which are single atomic adds regardless.
+var enabled atomic.Bool
+
+// SetEnabled turns metric collection on or off process-wide. Off by
+// default.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether metric collection is on. The check is a
+// single atomic load, cheap enough for per-run (not per-instruction)
+// guards.
+func Enabled() bool { return enabled.Load() }
+
+// Default is the process-wide registry every instrumented package
+// publishes into.
+var Default = NewRegistry()
+
+// Trace is the process-wide tracer, disabled until Trace.Enable.
+var Trace = NewTracer(DefaultTraceCap)

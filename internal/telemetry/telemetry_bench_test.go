@@ -1,0 +1,39 @@
+package telemetry
+
+import "testing"
+
+// The hard budget for telemetry compiled in but disabled is one atomic
+// add or less on any hot path. These benchmarks pin the primitive
+// costs the instrumented packages pay.
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkEnabledCheck(b *testing.B) {
+	SetEnabled(false)
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if Enabled() {
+			n++
+		}
+	}
+	_ = n
+}
+
+func BenchmarkDisabledSpan(b *testing.B) {
+	tr := NewTracer(16)
+	for i := 0; i < b.N; i++ {
+		tr.Span("s", "c", PidVirtual, 0, 0, 1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(ExpBuckets(100, 2, 24))
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i & 0xFFFF))
+	}
+}

@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace-track process ids. Chrome's trace viewer groups events by pid;
+// virtual-time events (faas simulator, emulator) and wall-time events
+// (experiment engine, compiles) get separate tracks so their clocks are
+// never mixed on one timeline.
+const (
+	PidVirtual = 1
+	PidWall    = 2
+)
+
+// DefaultTraceCap is the default ring-buffer capacity. When a run emits
+// more events, the oldest are overwritten and Dropped reports how many.
+const DefaultTraceCap = 1 << 16
+
+// Event is one trace record. TS and Dur are nanoseconds on the track's
+// clock: virtual sim-time for PidVirtual, Tracer.Now wall time for
+// PidWall.
+type Event struct {
+	Name  string
+	Cat   string
+	Phase byte // 'X' span, 'i' instant
+	TS    float64
+	Dur   float64
+	PID   int
+	TID   int
+}
+
+// Tracer records events into a fixed-capacity ring buffer. Emission is
+// gated on Enabled with a single atomic load, so a disabled tracer
+// costs nothing on instrumented paths.
+type Tracer struct {
+	enabled atomic.Bool
+
+	mu      sync.Mutex
+	buf     []Event
+	cap     int
+	next    int // ring write position once the buffer is full
+	dropped uint64
+	start   time.Time
+}
+
+// NewTracer returns a disabled tracer with the given ring capacity.
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{cap: capacity}
+}
+
+// Enable clears the buffer, restarts the wall clock, and turns
+// recording on.
+func (t *Tracer) Enable() {
+	t.mu.Lock()
+	t.buf = t.buf[:0]
+	t.next = 0
+	t.dropped = 0
+	t.start = time.Now()
+	t.mu.Unlock()
+	t.enabled.Store(true)
+}
+
+// Disable turns recording off; buffered events stay readable.
+func (t *Tracer) Disable() { t.enabled.Store(false) }
+
+// Enabled reports whether the tracer records events (one atomic load).
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+// Now returns wall-clock nanoseconds since Enable, the timestamp base
+// for PidWall events.
+func (t *Tracer) Now() float64 {
+	t.mu.Lock()
+	start := t.start
+	t.mu.Unlock()
+	return float64(time.Since(start))
+}
+
+// Span records a completed span. No-op while disabled.
+func (t *Tracer) Span(name, cat string, pid, tid int, startNs, durNs float64) {
+	if !t.enabled.Load() {
+		return
+	}
+	t.emit(Event{Name: name, Cat: cat, Phase: 'X', TS: startNs, Dur: durNs, PID: pid, TID: tid})
+}
+
+// Instant records a point event. No-op while disabled.
+func (t *Tracer) Instant(name, cat string, pid, tid int, tsNs float64) {
+	if !t.enabled.Load() {
+		return
+	}
+	t.emit(Event{Name: name, Cat: cat, Phase: 'i', TS: tsNs, PID: pid, TID: tid})
+}
+
+func (t *Tracer) emit(ev Event) {
+	t.mu.Lock()
+	if len(t.buf) < t.cap {
+		t.buf = append(t.buf, ev)
+	} else {
+		t.buf[t.next] = ev
+		t.next = (t.next + 1) % t.cap
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the buffered events in emission order.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Dropped returns how many events were overwritten since Enable.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// jsonEvent is the Chrome trace-event wire format; ts and dur are in
+// microseconds per the spec.
+type jsonEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteJSON exports the buffered events as a Chrome trace-event file
+// loadable in chrome://tracing (or ui.perfetto.dev). Track-naming
+// metadata events label the virtual- and wall-time processes.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	evs := t.Events()
+	out := struct {
+		TraceEvents     []jsonEvent `json:"traceEvents"`
+		DisplayTimeUnit string      `json:"displayTimeUnit"`
+	}{DisplayTimeUnit: "ns"}
+	out.TraceEvents = append(out.TraceEvents,
+		jsonEvent{Name: "process_name", Ph: "M", Pid: PidVirtual,
+			Args: map[string]string{"name": "virtual time (simulators)"}},
+		jsonEvent{Name: "process_name", Ph: "M", Pid: PidWall,
+			Args: map[string]string{"name": "wall time (experiment engine)"}},
+	)
+	for _, ev := range evs {
+		je := jsonEvent{
+			Name: ev.Name, Cat: ev.Cat, Ph: string(ev.Phase),
+			TS: ev.TS / 1e3, Pid: ev.PID, Tid: ev.TID,
+		}
+		if ev.Phase == 'X' {
+			je.Dur = ev.Dur / 1e3
+		}
+		if ev.Phase == 'i' {
+			je.S = "t" // thread-scoped instant
+		}
+		out.TraceEvents = append(out.TraceEvents, je)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTracerDisabledRecordsNothing(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Span("s", "c", PidVirtual, 0, 0, 10)
+	tr.Instant("i", "c", PidVirtual, 0, 5)
+	if n := len(tr.Events()); n != 0 {
+		t.Fatalf("disabled tracer recorded %d events", n)
+	}
+}
+
+func TestTracerSpanAndInstant(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Enable()
+	tr.Span("epoch", "faas", PidVirtual, 3, 1000, 500)
+	tr.Instant("switch", "faas", PidVirtual, 3, 1200)
+	tr.Disable()
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].Name != "epoch" || evs[0].Phase != 'X' || evs[0].TS != 1000 || evs[0].Dur != 500 {
+		t.Fatalf("span event = %+v", evs[0])
+	}
+	if evs[1].Phase != 'i' || evs[1].TID != 3 {
+		t.Fatalf("instant event = %+v", evs[1])
+	}
+}
+
+func TestTracerRingOverflow(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Enable()
+	for i := 0; i < 10; i++ {
+		tr.Instant("e", "c", PidWall, i, float64(i))
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(evs))
+	}
+	// Oldest were overwritten: the survivors are 6..9 in order.
+	for i, ev := range evs {
+		if ev.TID != 6+i {
+			t.Fatalf("event %d has tid %d, want %d", i, ev.TID, 6+i)
+		}
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	// Enable resets the ring.
+	tr.Enable()
+	if len(tr.Events()) != 0 || tr.Dropped() != 0 {
+		t.Fatal("Enable did not reset the ring")
+	}
+}
+
+// TestWriteJSONChromeFormat pins the exported shape: a traceEvents
+// array whose entries chrome://tracing accepts (name/ph/ts/pid/tid,
+// ts in microseconds), with metadata naming the two clock tracks.
+func TestWriteJSONChromeFormat(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Enable()
+	tr.Span("cell", "exp", PidWall, 1, 2000, 1000) // 2 µs start, 1 µs long
+	tr.Disable()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if len(out.TraceEvents) != 3 { // 2 metadata + 1 span
+		t.Fatalf("got %d events, want 3", len(out.TraceEvents))
+	}
+	meta := out.TraceEvents[0]
+	if meta["ph"] != "M" || meta["name"] != "process_name" {
+		t.Fatalf("first event is not track metadata: %v", meta)
+	}
+	span := out.TraceEvents[2]
+	if span["name"] != "cell" || span["ph"] != "X" {
+		t.Fatalf("span event = %v", span)
+	}
+	if ts := span["ts"].(float64); ts != 2 {
+		t.Fatalf("ts = %v µs, want 2", ts)
+	}
+	if dur := span["dur"].(float64); dur != 1 {
+		t.Fatalf("dur = %v µs, want 1", dur)
+	}
+}
