@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet ci bench-smoke bench results
+.PHONY: build test race vet ci docscheck bench-smoke bench results
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,12 @@ ci:
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# Documentation gate: package comments present, ARCHITECTURE.md linked
+# and complete, documented flags/ids exist, documented commands run in
+# smoke mode (including the fault-injection flags).
+docscheck:
+	sh tools/docscheck.sh
 
 # A fast end-to-end pass: one cheap experiment through the bench
 # harness and the quick benchtab path.

@@ -8,6 +8,14 @@
 //	faassim -procs 8 -handler regex-filtering
 //	faassim -compute 50000 -pages 64 -arrivals 60
 //	faassim -backend mte -coldstart  # §7: per-request lifecycle costs
+//	faassim -faultrate 0.05 -retries 4 -timeout 100 -shed 512
+//
+// The last form arms deterministic fault injection (internal/fault):
+// the base rate is scaled into each backend's characteristic fault mix,
+// and the degradation policies — retry with backoff, a per-request
+// deadline, bounded-queue admission control, and a circuit breaker —
+// govern how the platform sheds the damage. Armed runs print fail%
+// columns (shed + failed + timed-out as a share of offered load).
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/faas"
+	"repro/internal/fault"
 	"repro/internal/isolation"
 	"repro/internal/sfi"
 	"repro/internal/telemetry"
@@ -35,6 +44,11 @@ func main() {
 	instanceKB := flag.Uint64("instancekb", 64, "linear-memory KiB the cold-start lifecycle costs are charged on")
 	preserveTags := flag.Bool("preservetags", false, "model the tag-preserving madvise (mte backend only)")
 	latency := flag.Bool("latency", false, "record per-request latency and print p50/p95/p99 columns")
+	faultRate := flag.Float64("faultrate", 0, "base per-request fault rate, scaled into each backend's fault mix (0 = no injection)")
+	faultSeed := flag.Uint64("faultseed", 1789, "fault-injector RNG seed (independent of the simulation seed)")
+	timeoutMs := flag.Float64("timeout", 0, "per-request deadline in virtual ms (0 = none)")
+	retries := flag.Int("retries", 1, "attempt budget per request under faults (1 = no retries)")
+	shed := flag.Int("shed", 0, "admission queue limit; arrivals beyond it are shed (0 = unbounded)")
 	tele := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if err := tele.Start(); err != nil {
@@ -57,6 +71,28 @@ func main() {
 		}
 	}
 
+	// Any armed knob turns the fault machinery on for both sides of the
+	// comparison; faultConfig scales the base rate into each backend's
+	// characteristic mix.
+	faultsOn := *faultRate > 0 || *timeoutMs > 0 || *retries > 1 || *shed > 0
+	faultConfig := func(kind isolation.Kind) fault.Config {
+		if !faultsOn {
+			return fault.Config{}
+		}
+		return fault.Config{
+			Seed:        *faultSeed,
+			Rates:       fault.RatesFor(string(kind), *faultRate),
+			MaxAttempts: *retries,
+			Retry:       fault.Backoff{BaseNs: 200_000, Factor: 2, MaxNs: 8e6},
+			TimeoutNs:   *timeoutMs * 1e6,
+			QueueLimit:  *shed,
+			Breaker:     fault.BreakerConfig{FailureThreshold: 64, OpenNs: 5e6},
+		}
+	}
+	failPct := func(r faas.Result) float64 {
+		return 100 * float64(r.Shed+r.Failed+r.TimedOut) / float64(r.Offered)
+	}
+
 	names := []string{"html-templating", "hash-load-balance", "regex-filtering"}
 	if *handler != "" {
 		names = []string{*handler}
@@ -70,6 +106,9 @@ func main() {
 		fmt.Printf("== %s: compute %.1f µs/request, %d pages ==\n", w.Name, w.ComputeNs/1e3, w.Pages)
 		fmt.Printf("%-6s  %-12s  %-12s  %-8s  %-14s  %-12s",
 			"procs", "mp rps", shortName(kind)+" rps", "gain", "mp switches", "mp dtlb")
+		if faultsOn {
+			fmt.Printf("  %-9s  %-9s", shortName(kind)+" fail%", "mp fail%")
+		}
 		if *latency {
 			fmt.Printf("  %-10s  %-10s  %-10s", "cg p50 ms", "cg p95 ms", "cg p99 ms")
 		}
@@ -84,6 +123,8 @@ func main() {
 			if kind == isolation.MTE {
 				cgCfg.Lifecycle = isolation.LifecycleFor(kind, *preserveTags)
 			}
+			cgCfg.Faults = faultConfig(kind)
+			mpCfg.Faults = faultConfig(isolation.MultiProc)
 			for _, cfg := range []*faas.Config{&cgCfg, &mpCfg} {
 				cfg.ArrivalsPerEpoch = *arrivals
 				cfg.DurationNs = *duration * 1e9
@@ -96,6 +137,9 @@ func main() {
 			gain := (cg.ThroughputRPS/mp.ThroughputRPS - 1) * 100
 			fmt.Printf("%-6d  %-12.0f  %-12.0f  %+.1f%%   %-14d  %-12d",
 				n, mp.ThroughputRPS, cg.ThroughputRPS, gain, mp.CtxSwitches, mp.DTLBMisses)
+			if faultsOn {
+				fmt.Printf("  %-9.2f  %-9.2f", failPct(cg), failPct(mp))
+			}
 			if *latency {
 				fmt.Printf("  %-10.2f  %-10.2f  %-10.2f",
 					cg.LatencyP50Ns/1e6, cg.LatencyP95Ns/1e6, cg.LatencyP99Ns/1e6)

@@ -51,6 +51,7 @@ func TestGoldenTables(t *testing.T) {
 		"fig7b",
 		"ablation-guards",
 		"ablation-stripes",
+		"faultsweep",
 	} {
 		id := id
 		t.Run(id, func(t *testing.T) { checkGolden(t, id) })

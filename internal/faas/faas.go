@@ -12,12 +12,26 @@
 // compute costs and page footprints come from measuring the actual
 // workload kernels on the emulator (see internal/exp); this package is
 // pure scheduling.
+//
+// Beyond the paper's warm steady state, the simulator models what
+// production platforms actually experience under load: Config.Faults
+// arms internal/fault's deterministic injector (cold-start failures,
+// slot exhaustion, transition faults, poisoned instances) and the
+// degradation policies the platform responds with — retry with
+// exponential backoff, per-request deadlines, admission control with
+// load shedding, and a circuit breaker, all in virtual nanoseconds.
+// Result's shed/retried/failed/timed-out counters and Degradation
+// curve report the outcome. The zero Faults value is provably inert:
+// every golden table is byte-identical with the machinery disabled
+// (exp.TestGoldenTablesWithFaultsOff).
 package faas
 
 import (
 	"container/heap"
+	"sync/atomic"
 
 	"repro/internal/cache"
+	"repro/internal/fault"
 	"repro/internal/isolation"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -82,7 +96,31 @@ type Config struct {
 	// by default so bulk experiment sweeps pay no per-request append.
 	RecordLatency bool
 
+	// Faults arms deterministic fault injection and the degradation
+	// policies (retry/backoff, deadline, admission control, circuit
+	// breaker). The zero value is inert: no fault branch executes and
+	// the run is byte-identical to one without the machinery.
+	Faults fault.Config
+
 	Seed uint64
+}
+
+// defaultFaults, when non-nil, is applied to any Run whose
+// Config.Faults is the zero value. It exists so tests and tools can
+// arm the fault machinery process-wide underneath experiments that
+// build their own Configs (exp.TestGoldenTablesWithFaultsOff arms an
+// all-zero-rate config this way to prove the wired paths are inert).
+var defaultFaults atomic.Pointer[fault.Config]
+
+// SetDefaultFaults installs (or, with nil, clears) a process-wide
+// fault configuration used by runs whose own Config.Faults is zero.
+func SetDefaultFaults(fc *fault.Config) {
+	if fc == nil {
+		defaultFaults.Store(nil)
+		return
+	}
+	cp := *fc
+	defaultFaults.Store(&cp)
 }
 
 // DefaultConfig returns the paper's simulation parameters around the
@@ -141,14 +179,39 @@ func BackendConfig(w Workload, b isolation.Backend, processes int) Config {
 	return cfg
 }
 
+// DegradationPoint is one sample of the degradation curve: the
+// cumulative request outcomes as of TimeNs of virtual time. Sampled
+// every Faults.CurveBucketNs when that is set.
+type DegradationPoint struct {
+	TimeNs    float64
+	Completed int
+	Shed      int
+	Failed    int
+	TimedOut  int
+	Retried   int
+}
+
 // Result carries the measured outcomes.
 type Result struct {
 	Completed     int
+	Offered       int // requests generated (admitted or shed)
 	ThroughputRPS float64
 	CtxSwitches   uint64 // process context switches
 	Transitions   uint64 // sandbox transitions (user level)
 	DTLBMisses    uint64
 	MaxConcurrent int
+
+	// Fault-injection and degradation outcomes. All stay zero unless
+	// Config.Faults is armed.
+	Shed           int    // rejected at admission (queue full or breaker open)
+	Retried        int    // retry attempts scheduled after recoverable faults
+	Failed         int    // abandoned after exhausting the attempt budget
+	TimedOut       int    // dropped at the per-request deadline
+	FaultsInjected uint64 // total injector hits across classes
+	BreakerOpens   uint64 // circuit-breaker trips
+	// Degradation is the cumulative-outcome curve sampled every
+	// Faults.CurveBucketNs (nil when unset).
+	Degradation []DegradationPoint
 
 	// LifecycleNs is the virtual time spent in instance init/teardown
 	// (ColdStart runs only).
@@ -188,9 +251,11 @@ type task struct {
 	arrivedAt float64 // when the request arrived
 	readyAt   float64 // when IO completes
 	computeNs float64 // compute remaining
+	fullNs    float64 // full compute draw (restored when an attempt's work is lost)
 	proc      int
 	base      uint64 // instance memory base (for TLB page addresses)
 	started   bool   // cold-start init already charged
+	attempts  int    // failed attempts so far (fault-armed runs)
 }
 
 // ioHeap orders tasks by IO completion.
@@ -238,6 +303,33 @@ func Run(cfg Config) Result {
 		// ColorGuard flag.
 		trans = legacyTrans(cfg.ColorGuard)
 	}
+
+	// Fault machinery. A zero Faults config (and no process default)
+	// leaves faultsOn false, and every fault branch below is skipped:
+	// the run is byte-identical to the pre-fault simulator. An armed
+	// config with zero rates and disabled policies runs the branches
+	// but changes nothing — exp.TestGoldenTablesWithFaultsOff holds the
+	// golden tables to that.
+	fcfg := cfg.Faults
+	if !fcfg.Armed() {
+		if p := defaultFaults.Load(); p != nil {
+			fcfg = *p
+		}
+	}
+	faultsOn := fcfg.Armed()
+	var (
+		inj      *fault.Injector
+		breaker  *fault.Breaker
+		attempts = fcfg.MaxAttempts
+	)
+	if faultsOn {
+		inj = fault.NewInjector(fcfg.Seed)
+		breaker = fault.NewBreaker(fcfg.Breaker)
+		if attempts < 1 {
+			attempts = 1
+		}
+	}
+
 	var (
 		clock     float64
 		res       Result
@@ -249,7 +341,43 @@ func Run(cfg Config) Result {
 		inFlight  int
 		transCost = trans.RoundTripNs()
 		rrCursor  int
+		nextCurve = fcfg.CurveBucketNs
 	)
+
+	// sample appends a degradation-curve point for every curve bucket
+	// the clock has crossed.
+	sample := func() {
+		for nextCurve > 0 && clock >= nextCurve {
+			res.Degradation = append(res.Degradation, DegradationPoint{
+				TimeNs:    nextCurve,
+				Completed: res.Completed,
+				Shed:      res.Shed,
+				Failed:    res.Failed,
+				TimedOut:  res.TimedOut,
+				Retried:   res.Retried,
+			})
+			nextCurve += fcfg.CurveBucketNs
+		}
+	}
+
+	// fail drops or retries a request after a recoverable fault: the
+	// attempt's progress is lost; within the attempt budget the request
+	// re-enters the IO heap after the backoff delay, otherwise it is
+	// abandoned. Every fault also feeds the circuit breaker.
+	fail := func(t *task) {
+		breaker.OnFailure(clock)
+		t.attempts++
+		t.computeNs = t.fullNs
+		t.started = false
+		if t.attempts >= attempts {
+			res.Failed++
+			inFlight--
+			return
+		}
+		res.Retried++
+		t.readyAt = clock + fcfg.Retry.DelayNs(t.attempts)
+		heap.Push(&io, t)
+	}
 
 	// touch simulates the TLB traffic of one request's compute slice:
 	// the process's runtime pages plus the instance's own pages.
@@ -273,6 +401,9 @@ func Run(cfg Config) Result {
 
 	arrive := func() {
 		for i := 0; i < cfg.ArrivalsPerEpoch; i++ {
+			// The arrival draws happen before any shed decision, so a
+			// degraded run sees exactly the offered load of a clean one:
+			// faults and policies never perturb the arrival stream.
 			jitter := 0.75 + 0.5*rng.Float64()
 			t := &task{
 				arrivedAt: clock,
@@ -281,7 +412,20 @@ func Run(cfg Config) Result {
 				proc:      (res.Completed + inFlight) % cfg.Processes,
 				base:      uint64(1)<<45 + nextBase,
 			}
+			t.fullNs = t.computeNs
 			nextBase += 1 << 23 // instances 8 MiB apart
+			res.Offered++
+			if faultsOn {
+				// Admission control: a full queue or an open breaker
+				// sheds the request immediately (load shedding is the
+				// platform's first degradation line — reject cheap,
+				// before any isolation or compute cost is sunk).
+				if (fcfg.QueueLimit > 0 && inFlight >= fcfg.QueueLimit) ||
+					!breaker.Allow(clock) {
+					res.Shed++
+					continue
+				}
+			}
 			inFlight++
 			if inFlight > res.MaxConcurrent {
 				res.MaxConcurrent = inFlight
@@ -322,6 +466,7 @@ func Run(cfg Config) Result {
 	arrive()
 	nextEpoch = cfg.EpochNs
 	for clock < cfg.DurationNs {
+		sample()
 		for clock >= nextEpoch {
 			if tracing {
 				telemetry.Trace.Span("epoch", "faas", telemetry.PidVirtual, 0,
@@ -384,6 +529,23 @@ func Run(cfg Config) Result {
 		for len(ready[p]) > 0 && clock < sliceEnd && clock < cfg.DurationNs {
 			t := ready[p][0]
 			ready[p] = ready[p][1:]
+			if faultsOn {
+				// Deadline: a request that reaches the CPU past its
+				// timeout is dropped before any further cost is sunk.
+				if fcfg.TimeoutNs > 0 && clock-t.arrivedAt >= fcfg.TimeoutNs {
+					res.TimedOut++
+					inFlight--
+					breaker.OnFailure(clock)
+					continue
+				}
+				// Slot exhaustion strikes at attempt start (a preempted
+				// task, computeNs < fullNs, already holds its slot).
+				if t.computeNs == t.fullNs &&
+					inj.Hit(fault.SlotExhausted, fcfg.Rates.SlotExhausted) {
+					fail(t)
+					continue
+				}
+			}
 			if cfg.ColdStart && !t.started {
 				// Fresh instance per request: mmap+zero plus the
 				// backend's coloring cost (re-coloring, since slots cycle
@@ -391,11 +553,30 @@ func Run(cfg Config) Result {
 				init := cfg.Lifecycle.InitNs(cfg.InstanceBytes, cfg.Lifecycle.RecolorOnReuse)
 				clock += init
 				res.LifecycleNs += init
+				if faultsOn && inj.Hit(fault.ColdStartFail, fcfg.Rates.ColdStartFail) {
+					// The init cost is spent but the instance is dead.
+					fail(t)
+					continue
+				}
 				t.started = true
 			}
 			clock += transCost
 			res.Transitions += 2
+			if faultsOn && inj.Hit(fault.TransitionFault, fcfg.Rates.TransitionFault) {
+				// The crossing's cost is paid (enter plus the unwinding
+				// leave) but the attempt never reaches its compute.
+				fail(t)
+				continue
+			}
 			clock += touch(t)
+			if faultsOn && inj.Hit(fault.Poisoned, fcfg.Rates.Poisoned) {
+				// The instance crashes partway into this attempt's
+				// compute: the burned fraction is charged, the progress
+				// is lost.
+				clock += t.computeNs * inj.Frac()
+				fail(t)
+				continue
+			}
 			run := t.computeNs
 			if clock+run > sliceEnd {
 				// Epoch preemption: requeue the remainder.
@@ -411,6 +592,9 @@ func Run(cfg Config) Result {
 			clock += run
 			res.Completed++
 			inFlight--
+			if faultsOn {
+				breaker.OnSuccess(clock)
+			}
 			lat := clock - t.arrivedAt
 			if cfg.RecordLatency {
 				res.Latencies = append(res.Latencies, lat)
@@ -436,8 +620,36 @@ func Run(cfg Config) Result {
 		res.LatencyP95Ns = stats.Percentile(res.Latencies, 95)
 		res.LatencyP99Ns = stats.Percentile(res.Latencies, 99)
 	}
+	if faultsOn {
+		sample() // flush curve buckets the final events crossed
+		res.FaultsInjected = inj.Total()
+		res.BreakerOpens = breaker.Opens()
+	}
 	if tele {
 		tlb.PublishTo(telemetry.Default, "faas.dtlb")
+		if faultsOn {
+			// Publish only non-zero outcomes, so an armed-but-inert
+			// configuration leaves the registry exactly as a clean run
+			// would (telemetry inertness extends to the fault layer).
+			reg := telemetry.Default
+			for c := fault.Class(0); c < fault.NumClasses; c++ {
+				if n := inj.Count(c); n > 0 {
+					reg.Counter("faas.faults." + c.String()).Add(n)
+				}
+			}
+			addIf := func(name string, n int) {
+				if n > 0 {
+					reg.Counter(name).Add(uint64(n))
+				}
+			}
+			addIf("faas.shed", res.Shed)
+			addIf("faas.retries", res.Retried)
+			addIf("faas.failed", res.Failed)
+			addIf("faas.timeouts", res.TimedOut)
+			if res.BreakerOpens > 0 {
+				reg.Counter("faas.breaker_opens").Add(res.BreakerOpens)
+			}
+		}
 	}
 	return res
 }

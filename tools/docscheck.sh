@@ -1,0 +1,68 @@
+#!/bin/sh
+# docscheck: keep the documentation spine true.
+#
+# 1. Every internal package (and every command) has a package comment.
+# 2. ARCHITECTURE.md exists, is linked from README.md, and documents
+#    every internal package.
+# 3. The flags and experiment ids the docs advertise actually exist.
+# 4. The documented commands run, in cheap smoke configurations —
+#    including the fault-injection flags.
+#
+# Run via `make docscheck`; CI runs it on every push.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+err() { echo "docscheck: $*" >&2; fail=1; }
+
+# --- 1. package comments -------------------------------------------------
+for dir in internal/*/ cmd/*/; do
+    pkg=$(basename "$dir")
+    # A package comment is a comment line immediately preceding the
+    # package clause in at least one file of the package.
+    if ! awk 'prev ~ /^(\/\/|\*\/)/ && $0 ~ /^package / { found=1 } { prev=$0 } END { exit !found }' "$dir"*.go; then
+        err "$dir has no package comment (godoc synopsis)"
+    fi
+done
+
+# --- 2. the architecture spine ------------------------------------------
+[ -f ARCHITECTURE.md ] || err "ARCHITECTURE.md missing"
+grep -q 'ARCHITECTURE\.md' README.md || err "README.md does not link ARCHITECTURE.md"
+for dir in internal/*/; do
+    pkg=$(basename "$dir")
+    grep -q "internal/$pkg" ARCHITECTURE.md || err "ARCHITECTURE.md does not mention internal/$pkg"
+done
+
+# --- 3. advertised ids and flags exist ----------------------------------
+go build ./... || err "go build failed"
+ids=$(go run ./cmd/benchtab -list)
+for id in transition scaling faultsweep backend-matrix; do
+    echo "$ids" | grep -q "^$id " || err "experiment id $id (documented) not in benchtab -list"
+done
+flags=$(go run ./cmd/faassim -help 2>&1 || true)
+for f in faultrate faultseed timeout retries shed backend coldstart latency; do
+    echo "$flags" | grep -q -- "-$f" || err "faassim flag -$f (documented) missing"
+done
+
+# --- 4. documented invocations run (smoke mode) -------------------------
+smoke() {
+    desc=$1; shift
+    if ! "$@" >/dev/null 2>&1; then
+        err "documented command failed: $desc"
+    fi
+}
+smoke "benchtab faultsweep"   go run ./cmd/benchtab -o /dev/null faultsweep
+smoke "benchtab transition"   go run ./cmd/benchtab -o /dev/null transition
+smoke "sfic"                  go run ./cmd/sfic
+smoke "faassim (clean)"       go run ./cmd/faassim -handler regex-filtering -procs 2 -seconds 0.2
+smoke "faassim (faults)"      go run ./cmd/faassim -handler regex-filtering -procs 2 -seconds 0.2 \
+                                  -faultrate 0.05 -retries 4 -timeout 100 -shed 512
+smoke "faassim (mte cold)"    go run ./cmd/faassim -handler regex-filtering -procs 2 -seconds 0.2 \
+                                  -backend mte -coldstart -faultrate 0.02 -retries 3
+smoke "quickstart example"    go run ./examples/quickstart
+
+if [ "$fail" -ne 0 ]; then
+    echo "docscheck: FAILED" >&2
+    exit 1
+fi
+echo "docscheck: ok"
