@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet ci docscheck bench-smoke bench results
+.PHONY: build test race vet ci docscheck bench-smoke bench results serve-smoke serve-bench
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,7 @@ ci:
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	sh tools/servesmoke.sh
 
 # Documentation gate: package comments present, ARCHITECTURE.md linked
 # and complete, documented flags/ids exist, documented commands run in
@@ -45,3 +46,14 @@ bench:
 # SPEC-suite experiments, plus the telemetry-counter sidecar.
 results:
 	$(GO) run ./cmd/benchtab -compare -results BENCH_results.json -metrics BENCH_metrics.json -o /dev/null fig3 fig5 fig4 table2
+
+# Serving-layer smoke: boot faasd on an ephemeral port, burst it with
+# faasload, check /healthz and /metrics, drain cleanly on SIGTERM.
+serve-smoke:
+	sh tools/servesmoke.sh
+
+# Serving-layer benchmark: sweep an open-loop RPS ramp against a live
+# faasd and record the throughput/latency trajectory per step in
+# SERVE_results.json (RAMP/SECONDS_PER_STEP/KERNEL/OUT env overrides).
+serve-bench:
+	sh tools/servebench.sh

@@ -1,0 +1,168 @@
+// Command faasd serves the measured workload kernels over HTTP: each
+// request compiles nothing (modules are cached process-wide), places a
+// fresh instance into an isolation-backend slot owned by the worker
+// that dequeued it, invokes the kernel, and returns the checksum plus
+// simulated and wall-clock timings as JSON.
+//
+// Usage:
+//
+//	faasd                              # all kernels on 127.0.0.1:8080
+//	faasd -addr 127.0.0.1:0 -addrfile /tmp/faasd.addr
+//	faasd -shards 4 -workers 2 -queue 128 -timeout 250ms
+//	faasd -backend multiproc -kernels regex-filtering
+//
+// Endpoints:
+//
+//	POST/GET /invoke/<kernel>?n=<batch>&backend=<kind>
+//	GET      /healthz   — ok, or 503 once draining
+//	GET      /metrics   — telemetry registry snapshot (JSON)
+//
+// SIGINT/SIGTERM starts a graceful drain: /healthz flips to 503 so load
+// balancers stop sending, in-flight requests finish, then the process
+// exits 0. The degradation policies mirror the faassim simulator's:
+// bounded admission (429), per-request deadlines (504), and a circuit
+// breaker (503) — see internal/server.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/isolation"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use port 0 with -addrfile for an ephemeral port)")
+	addrFile := flag.String("addrfile", "", "write the bound address to this file once listening")
+	kernels := flag.String("kernels", "", "comma-separated kernels to serve (default: all FaaS kernels)")
+	backend := flag.String("backend", "", "default isolation backend when a request names none (default colorguard)")
+	shards := flag.Int("shards", 0, "dispatcher shards (default: min(NumCPU, 8))")
+	workers := flag.Int("workers", 0, "worker goroutines per shard (default 1)")
+	queue := flag.Int("queue", 0, "bounded queue depth per shard (default 64)")
+	maxInFlight := flag.Int("maxinflight", 0, "admission-control limit on in-flight requests (default shards*queue)")
+	slots := flag.Int("slots", 0, "instance slots per worker backend (default 4)")
+	timeout := flag.Duration("timeout", 0, "per-request deadline (0 = none)")
+	breakerFails := flag.Int("breakerfails", 32, "consecutive failures that open the circuit breaker")
+	breakerOpen := flag.Duration("breakeropen", 2*time.Second, "how long an open breaker rejects before probing")
+	drainTimeout := flag.Duration("draintimeout", 10*time.Second, "how long a signal-triggered drain waits for in-flight requests")
+	flag.Parse()
+
+	if err := validate(*shards, *workers, *queue, *maxInFlight, *slots, *timeout, *breakerFails, *breakerOpen, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "faasd:", err)
+		os.Exit(2)
+	}
+
+	telemetry.SetEnabled(true)
+	cfg := server.Config{
+		DefaultBackend:  isolation.Kind(*backend),
+		Shards:          *shards,
+		WorkersPerShard: *workers,
+		QueueDepth:      *queue,
+		MaxInFlight:     *maxInFlight,
+		SlotsPerWorker:  *slots,
+		RequestTimeout:  *timeout,
+		Breaker: fault.BreakerConfig{
+			FailureThreshold:  *breakerFails,
+			OpenNs:            float64(*breakerOpen),
+			HalfOpenSuccesses: 2,
+		},
+	}
+	if *kernels != "" {
+		cfg.Kernels = strings.Split(*kernels, ",")
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faasd:", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faasd:", err)
+		os.Exit(1)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "faasd:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "[faasd listening on %s]\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "[faasd %s: draining]\n", got)
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "faasd:", err)
+		os.Exit(1)
+	}
+
+	// Drain: stop advertising health, finish in-flight work, then stop
+	// accepting and tear down the worker pool.
+	s.BeginDrain()
+	shutdownDone := make(chan error, 1)
+	go func() {
+		deadline := time.Now().Add(*drainTimeout)
+		for time.Now().Before(deadline) && s.Stats().InFlight > 0 {
+			time.Sleep(10 * time.Millisecond)
+		}
+		shutdownDone <- httpSrv.Close()
+	}()
+	if err := <-shutdownDone; err != nil {
+		fmt.Fprintln(os.Stderr, "faasd: shutdown:", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "faasd:", err)
+	}
+	if err := s.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "faasd:", err)
+		os.Exit(1)
+	}
+	st := s.Stats()
+	fmt.Fprintf(os.Stderr, "[faasd drained: %d served, %d completed, %d shed, %d timeouts, %d failed]\n",
+		st.Requests, st.Completed, st.Shed, st.Timeouts, st.Failed)
+}
+
+// validate rejects nonsensical knob settings before any work starts.
+// Zero means "use the default" for the sizing knobs, so only negatives
+// (and zero where a default does not exist) are errors.
+func validate(shards, workers, queue, maxInFlight, slots int, timeout time.Duration, breakerFails int, breakerOpen, drainTimeout time.Duration) error {
+	switch {
+	case shards < 0:
+		return fmt.Errorf("-shards %d: must be >= 1 (or 0 for the default)", shards)
+	case workers < 0:
+		return fmt.Errorf("-workers %d: must be >= 1 (or 0 for the default)", workers)
+	case queue < 0:
+		return fmt.Errorf("-queue %d: must be >= 1 (or 0 for the default)", queue)
+	case maxInFlight < 0:
+		return fmt.Errorf("-maxinflight %d: must be >= 1 (or 0 for the default)", maxInFlight)
+	case slots < 0:
+		return fmt.Errorf("-slots %d: must be >= 1 (or 0 for the default)", slots)
+	case timeout < 0:
+		return fmt.Errorf("-timeout %v: must be >= 0", timeout)
+	case breakerFails < 1:
+		return fmt.Errorf("-breakerfails %d: must be >= 1", breakerFails)
+	case breakerOpen <= 0:
+		return fmt.Errorf("-breakeropen %v: must be positive", breakerOpen)
+	case drainTimeout <= 0:
+		return fmt.Errorf("-draintimeout %v: must be positive", drainTimeout)
+	}
+	return nil
+}

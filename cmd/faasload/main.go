@@ -1,0 +1,240 @@
+// Command faasload drives a running faasd with open-loop traffic and
+// reports what came back: throughput, latency percentiles (p50/p95/p99
+// via stats.Percentile), and the shed/error split. Open-loop means
+// requests are launched on a fixed schedule regardless of how fast
+// responses return, so an overloaded server shows up as sheds and
+// rising tail latency instead of a politely slowed client.
+//
+// Usage:
+//
+//	faasload -url http://127.0.0.1:8080                 # 200 rps for 2 s
+//	faasload -url ... -rps 500 -seconds 5 -kernel regex-filtering
+//	faasload -url ... -ramp 100,200,400,800 -json SERVE_results.json
+//	faasload -url ... -smoke                            # CI: small burst, any failure is fatal
+//
+// -ramp runs one step per listed rate and emits the per-step trajectory
+// (throughput and percentiles per target RPS); -json writes it as JSON
+// ("-" = stdout). -smoke sends a small closed-loop burst and exits 1
+// unless every request succeeds — the serve smoke test in CI.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// stepResult is one load step's outcome, JSON-shaped for SERVE_results.
+type stepResult struct {
+	TargetRPS     int     `json:"target_rps"`
+	Offered       int     `json:"offered"`
+	OK            int     `json:"ok"`
+	Shed          int     `json:"shed"`
+	Errors        int     `json:"errors"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+}
+
+func main() {
+	url := flag.String("url", "", "base URL of a running faasd (required)")
+	kernel := flag.String("kernel", "regex-filtering", "kernel to invoke")
+	backend := flag.String("backend", "", "isolation backend to request (empty = server default)")
+	batch := flag.Int("n", 0, "batch size per request (0 = server default)")
+	rps := flag.Int("rps", 200, "open-loop arrival rate, requests per second")
+	seconds := flag.Float64("seconds", 2, "duration of each load step")
+	ramp := flag.String("ramp", "", "comma-separated RPS steps overriding -rps (e.g. 100,200,400)")
+	jsonOut := flag.String("json", "", `write step results as JSON to this path ("-" = stdout)`)
+	smoke := flag.Bool("smoke", false, "closed-loop burst of -count requests; exit 1 on any failure")
+	count := flag.Int("count", 20, "requests in a -smoke burst")
+	strict := flag.Bool("strict", false, "exit 1 if any request was shed or errored")
+	flag.Parse()
+
+	rates, err := validate(*url, *kernel, *batch, *rps, *seconds, *ramp, *count)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faasload:", err)
+		os.Exit(2)
+	}
+
+	path := "/invoke/" + *kernel
+	sep := "?"
+	if *backend != "" {
+		path += sep + "backend=" + *backend
+		sep = "&"
+	}
+	if *batch > 0 {
+		path += sep + "n=" + strconv.Itoa(*batch)
+	}
+	target := strings.TrimSuffix(*url, "/") + path
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	var steps []stepResult
+	if *smoke {
+		steps = []stepResult{burst(client, target, *count)}
+	} else {
+		for _, r := range rates {
+			steps = append(steps, openLoop(client, target, r, *seconds))
+		}
+	}
+
+	failed := false
+	for _, st := range steps {
+		fmt.Printf("rps=%-5d offered %-5d ok %-5d shed %-4d errors %-4d throughput %.1f rps  p50 %.2fms p95 %.2fms p99 %.2fms\n",
+			st.TargetRPS, st.Offered, st.OK, st.Shed, st.Errors,
+			st.ThroughputRPS, st.P50Ms, st.P95Ms, st.P99Ms)
+		if st.Errors > 0 || st.OK == 0 || ((*smoke || *strict) && st.Shed > 0) {
+			failed = true
+		}
+	}
+	if *jsonOut != "" {
+		data, _ := json.MarshalIndent(map[string]any{"kernel": *kernel, "steps": steps}, "", "  ")
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "faasload:", err)
+			os.Exit(1)
+		} else {
+			fmt.Fprintf(os.Stderr, "[wrote %s]\n", *jsonOut)
+		}
+	}
+	if failed && (*smoke || *strict) {
+		fmt.Fprintln(os.Stderr, "faasload: run had failures")
+		os.Exit(1)
+	}
+}
+
+// validate rejects out-of-range flags with exit code 2 (usage error).
+func validate(url, kernel string, batch, rps int, seconds float64, ramp string, count int) ([]int, error) {
+	switch {
+	case url == "":
+		return nil, fmt.Errorf("-url is required (e.g. -url http://127.0.0.1:8080)")
+	case kernel == "":
+		return nil, fmt.Errorf("-kernel must not be empty")
+	case batch < 0:
+		return nil, fmt.Errorf("-n %d: must be >= 1 (or 0 for the server default)", batch)
+	case rps < 1:
+		return nil, fmt.Errorf("-rps %d: must be >= 1", rps)
+	case seconds <= 0:
+		return nil, fmt.Errorf("-seconds %g: must be positive", seconds)
+	case count < 1:
+		return nil, fmt.Errorf("-count %d: must be >= 1", count)
+	}
+	rates := []int{rps}
+	if ramp != "" {
+		rates = nil
+		for _, f := range strings.Split(ramp, ",") {
+			r, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || r < 1 {
+				return nil, fmt.Errorf("-ramp %q: each step must be a positive integer", ramp)
+			}
+			rates = append(rates, r)
+		}
+	}
+	return rates, nil
+}
+
+// collector accumulates per-request outcomes across goroutines.
+type collector struct {
+	mu               sync.Mutex
+	latencies        []float64 // wall ms, successful requests only
+	ok, shed, errors int
+}
+
+func (c *collector) record(status int, err error, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case err != nil:
+		c.errors++
+	case status == http.StatusOK:
+		c.ok++
+		c.latencies = append(c.latencies, float64(d)/1e6)
+	case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable || status == http.StatusGatewayTimeout:
+		c.shed++
+	default:
+		c.errors++
+	}
+}
+
+func (c *collector) result(targetRPS, offered int, elapsed time.Duration) stepResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return stepResult{
+		TargetRPS:     targetRPS,
+		Offered:       offered,
+		OK:            c.ok,
+		Shed:          c.shed,
+		Errors:        c.errors,
+		ThroughputRPS: float64(c.ok) / elapsed.Seconds(),
+		P50Ms:         stats.Percentile(c.latencies, 50),
+		P95Ms:         stats.Percentile(c.latencies, 95),
+		P99Ms:         stats.Percentile(c.latencies, 99),
+	}
+}
+
+func fire(client *http.Client, target string, c *collector, wg *sync.WaitGroup) {
+	defer wg.Done()
+	start := time.Now()
+	resp, err := client.Get(target)
+	status := 0
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		status = resp.StatusCode
+	}
+	c.record(status, err, time.Since(start))
+}
+
+// openLoop launches requests on a fixed schedule for the step duration
+// and waits for stragglers before reporting.
+func openLoop(client *http.Client, target string, rps int, seconds float64) stepResult {
+	interval := time.Duration(float64(time.Second) / float64(rps))
+	stop := time.Now().Add(time.Duration(seconds * float64(time.Second)))
+	var (
+		c       collector
+		wg      sync.WaitGroup
+		offered int
+	)
+	start := time.Now()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for now := start; now.Before(stop); now = <-tick.C {
+		offered++
+		wg.Add(1)
+		go fire(client, target, &c, &wg)
+	}
+	wg.Wait()
+	return c.result(rps, offered, time.Since(start))
+}
+
+// burst is the closed-loop smoke mode: count requests over a small
+// fixed pool of connections, used by CI to prove the serve path works.
+func burst(client *http.Client, target string, count int) stepResult {
+	var (
+		c  collector
+		wg sync.WaitGroup
+	)
+	start := time.Now()
+	sem := make(chan struct{}, 4)
+	for i := 0; i < count; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem }()
+			fire(client, target, &c, &wg)
+		}()
+	}
+	wg.Wait()
+	return c.result(0, count, time.Since(start))
+}

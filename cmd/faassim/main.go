@@ -51,6 +51,11 @@ func main() {
 	shed := flag.Int("shed", 0, "admission queue limit; arrivals beyond it are shed (0 = unbounded)")
 	tele := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if err := validate(*backend, *faultRate, *duration, *computeNs, *timeoutMs,
+		*retries, *arrivals, *procs, *pages, *shed, *instanceKB); err != nil {
+		fmt.Fprintln(os.Stderr, "faassim:", err)
+		os.Exit(2)
+	}
 	if err := tele.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "faassim:", err)
 		os.Exit(1)
@@ -59,16 +64,6 @@ func main() {
 	kind := isolation.ColorGuard
 	if *backend != "" {
 		kind = isolation.Kind(*backend)
-		found := false
-		for _, k := range isolation.Kinds() {
-			if k == kind {
-				found = true
-			}
-		}
-		if !found {
-			fmt.Fprintf(os.Stderr, "faassim: unknown backend %q (want one of %v)\n", *backend, isolation.Kinds())
-			os.Exit(1)
-		}
 	}
 
 	// Any armed knob turns the fault machinery on for both sides of the
@@ -152,6 +147,48 @@ func main() {
 		fmt.Fprintln(os.Stderr, "faassim:", err)
 		os.Exit(1)
 	}
+}
+
+// validate rejects out-of-range flag values before any simulation work
+// starts, exiting with the conventional usage-error code 2. Zero keeps
+// a knob's "off"/"default" meaning where one exists; everything else
+// must land in the knob's meaningful range.
+func validate(backend string, faultRate, seconds, computeNs, timeoutMs float64,
+	retries, arrivals, procs, pages, shed int, instanceKB uint64) error {
+	if backend != "" {
+		found := false
+		for _, k := range isolation.Kinds() {
+			if k == isolation.Kind(backend) {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown backend %q (want one of %v)", backend, isolation.Kinds())
+		}
+	}
+	switch {
+	case faultRate < 0 || faultRate > 1:
+		return fmt.Errorf("-faultrate %g: a probability must be in [0, 1]", faultRate)
+	case retries < 1:
+		return fmt.Errorf("-retries %d: the attempt budget must be >= 1 (1 = no retries)", retries)
+	case seconds <= 0:
+		return fmt.Errorf("-seconds %g: simulated duration must be positive", seconds)
+	case arrivals < 1:
+		return fmt.Errorf("-arrivals %d: must be >= 1 request per epoch", arrivals)
+	case procs < 0:
+		return fmt.Errorf("-procs %d: must be >= 1 (or 0 to sweep 1..15)", procs)
+	case pages < 1:
+		return fmt.Errorf("-pages %d: an instance touches at least one page", pages)
+	case computeNs < 0:
+		return fmt.Errorf("-compute %g: must be >= 0 (0 = measure the kernel)", computeNs)
+	case timeoutMs < 0:
+		return fmt.Errorf("-timeout %g: must be >= 0 (0 = no deadline)", timeoutMs)
+	case shed < 0:
+		return fmt.Errorf("-shed %d: must be >= 0 (0 = unbounded queue)", shed)
+	case instanceKB < 1:
+		return fmt.Errorf("-instancekb %d: the lifecycle charge needs at least 1 KiB", instanceKB)
+	}
+	return nil
 }
 
 // shortName abbreviates a backend kind for the table header.

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// defaults mirrors the flag defaults so each case perturbs one knob.
+type flags struct {
+	backend            string
+	faultRate, seconds float64
+	computeNs, timeout float64
+	retries, arrivals  int
+	procs, pages, shed int
+	instanceKB         uint64
+}
+
+func defaults() flags {
+	return flags{
+		faultRate: 0, seconds: 2, computeNs: 0, timeout: 0,
+		retries: 1, arrivals: 40, procs: 0, pages: 48, shed: 0,
+		instanceKB: 64,
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*flags)
+		wantErr string // substring of the error, "" = valid
+	}{
+		{"defaults", func(f *flags) {}, ""},
+		{"known backend", func(f *flags) { f.backend = "mte" }, ""},
+		{"unknown backend", func(f *flags) { f.backend = "sgx" }, "unknown backend"},
+		{"negative faultrate", func(f *flags) { f.faultRate = -3 }, "-faultrate"},
+		{"faultrate above one", func(f *flags) { f.faultRate = 2 }, "-faultrate"},
+		{"faultrate boundary", func(f *flags) { f.faultRate = 1 }, ""},
+		{"zero retries", func(f *flags) { f.retries = 0 }, "-retries"},
+		{"negative retries", func(f *flags) { f.retries = -1 }, "-retries"},
+		{"zero seconds", func(f *flags) { f.seconds = 0 }, "-seconds"},
+		{"negative seconds", func(f *flags) { f.seconds = -0.5 }, "-seconds"},
+		{"negative arrivals", func(f *flags) { f.arrivals = -1 }, "-arrivals"},
+		{"zero arrivals", func(f *flags) { f.arrivals = 0 }, "-arrivals"},
+		{"negative procs", func(f *flags) { f.procs = -2 }, "-procs"},
+		{"explicit procs", func(f *flags) { f.procs = 8 }, ""},
+		{"zero pages", func(f *flags) { f.pages = 0 }, "-pages"},
+		{"negative compute", func(f *flags) { f.computeNs = -100 }, "-compute"},
+		{"negative timeout", func(f *flags) { f.timeout = -5 }, "-timeout"},
+		{"negative shed", func(f *flags) { f.shed = -1 }, "-shed"},
+		{"zero instancekb", func(f *flags) { f.instanceKB = 0 }, "-instancekb"},
+		{"armed fault run", func(f *flags) {
+			f.faultRate = 0.05
+			f.retries = 4
+			f.timeout = 100
+			f.shed = 512
+		}, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := defaults()
+			c.mutate(&f)
+			err := validate(f.backend, f.faultRate, f.seconds, f.computeNs, f.timeout,
+				f.retries, f.arrivals, f.procs, f.pages, f.shed, f.instanceKB)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate rejected valid flags: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validate accepted bad flags, want error mentioning %q", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not name the offending flag %q", err, c.wantErr)
+			}
+		})
+	}
+}

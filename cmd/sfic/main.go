@@ -45,7 +45,7 @@ func main() {
 		k, err := findKernel(*kernel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			os.Exit(2)
 		}
 		m = k.Build(false)
 	} else {
@@ -57,7 +57,7 @@ func main() {
 		md, ok := modeByName[*modeName]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "sfic: unknown mode %q\n", *modeName)
-			os.Exit(1)
+			os.Exit(2)
 		}
 		modes = []sfi.Mode{md}
 	}

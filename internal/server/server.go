@@ -1,0 +1,517 @@
+// Package server is the real serving layer over the sandbox runtime:
+// an HTTP front end that executes the measured FaaS workload kernels
+// (internal/workloads) on emulated instances (internal/rt) placed by an
+// isolation backend (internal/isolation) chosen per request, behind a
+// sharded worker-pool dispatcher with bounded queues.
+//
+// Where internal/faas simulates this serving path in virtual time, this
+// package runs it on the wall clock: the same internal/fault policy
+// math — admission control against a bounded in-flight count, a
+// per-request deadline measured from admission, and the three-state
+// circuit breaker — guards a real network surface. The endpoints are
+//
+//	POST/GET /invoke/<kernel>   execute one request (?n= batch,
+//	                            ?backend= isolation kind)
+//	GET      /healthz           serving/draining status, breaker state
+//	GET      /metrics           telemetry Registry snapshot as JSON
+//
+// Concurrency model: compiled modules are shared (they are immutable
+// after compilation, and come from the race-safe rt compile cache), but
+// simulated address spaces are not thread-safe, so every worker
+// goroutine owns its isolation backends outright — one slab per backend
+// kind, reserved lazily on first use. A request is admitted by the HTTP
+// handler, dealt round-robin to a shard's bounded queue, executed by
+// one of the shard's workers on a fresh instance allocated from the
+// worker's backend, and recycled on completion. Saturation therefore
+// degrades exactly like the simulator: queue-full and over-limit
+// arrivals shed with 429, deadline misses count as timeouts and feed
+// the breaker, and an open breaker fast-fails admissions with 503.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/isolation"
+	"repro/internal/rt"
+	"repro/internal/telemetry"
+	"repro/internal/workloads"
+)
+
+// Config parameterizes a Server. The zero value is usable: every field
+// falls back to the default noted on it.
+type Config struct {
+	// Kernels names the workload kernels to serve, from the FaaS suite
+	// (default: all of it).
+	Kernels []string
+
+	// DefaultBackend is the isolation backend used when a request does
+	// not pick one with ?backend= (default: colorguard).
+	DefaultBackend isolation.Kind
+
+	// Shards is the number of dispatcher shards, each with its own
+	// bounded queue (default: NumCPU, capped at 8).
+	Shards int
+
+	// WorkersPerShard is the number of executor goroutines per shard,
+	// each owning its isolation backends (default: 1).
+	WorkersPerShard int
+
+	// QueueDepth bounds each shard's queue; an arrival finding the
+	// queue full is shed with 429 (default: 64).
+	QueueDepth int
+
+	// MaxInFlight is the server-wide admission limit across queued and
+	// executing requests — fault.Config.QueueLimit on the wall clock.
+	// 0 means Shards*QueueDepth.
+	MaxInFlight int
+
+	// RequestTimeout is the per-request deadline measured from
+	// admission — fault.Config.TimeoutNs on the wall clock. A request
+	// still queued at its deadline is dropped with 504 and counts as a
+	// breaker failure. 0 disables.
+	RequestTimeout time.Duration
+
+	// Breaker configures the three-state circuit breaker consulted at
+	// admission (internal/fault's policy on wall-clock nanoseconds).
+	// The zero value leaves the breaker disabled.
+	Breaker fault.BreakerConfig
+
+	// SlotsPerWorker is each worker backend's slot count (default: 4;
+	// a worker runs one request at a time, slack covers recycle churn).
+	SlotsPerWorker int
+
+	// Registry receives the server's metrics (default:
+	// telemetry.Default).
+	Registry *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Kernels) == 0 {
+		for _, k := range workloads.FaaS().Kernels {
+			c.Kernels = append(c.Kernels, k.Name)
+		}
+	}
+	if c.DefaultBackend == "" {
+		c.DefaultBackend = isolation.ColorGuard
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.NumCPU()
+		if c.Shards > 8 {
+			c.Shards = 8
+		}
+	}
+	if c.WorkersPerShard <= 0 {
+		c.WorkersPerShard = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = c.Shards * c.QueueDepth
+	}
+	if c.SlotsPerWorker <= 0 {
+		c.SlotsPerWorker = 4
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.Default
+	}
+	return c
+}
+
+// metrics caches the server's registry instruments so the request path
+// pays one atomic op per event, never a map lookup.
+type metrics struct {
+	requests     *telemetry.Counter
+	completed    *telemetry.Counter
+	shed         *telemetry.Counter
+	timeouts     *telemetry.Counter
+	failed       *telemetry.Counter
+	breakerOpens *telemetry.Counter
+	inFlight     *telemetry.Gauge
+	latency      *telemetry.Histogram
+}
+
+func newMetrics(reg *telemetry.Registry) *metrics {
+	return &metrics{
+		requests:     reg.Counter("server.requests"),
+		completed:    reg.Counter("server.completed"),
+		shed:         reg.Counter("server.shed"),
+		timeouts:     reg.Counter("server.timeouts"),
+		failed:       reg.Counter("server.failed"),
+		breakerOpens: reg.Counter("server.breaker_opens"),
+		inFlight:     reg.Gauge("server.in_flight"),
+		latency: reg.Histogram("server.request_latency_ns",
+			telemetry.ExpBuckets(1e4, 2, 28)), // 10 µs .. ~22 min
+	}
+}
+
+// wallBreaker adapts internal/fault's single-owner virtual-time breaker
+// to a concurrent wall-clock server: one mutex serializes it, and time
+// is nanoseconds since server start.
+type wallBreaker struct {
+	mu    sync.Mutex
+	b     *fault.Breaker
+	start time.Time
+}
+
+func newWallBreaker(cfg fault.BreakerConfig) *wallBreaker {
+	return &wallBreaker{b: fault.NewBreaker(cfg), start: time.Now()}
+}
+
+func (w *wallBreaker) now() float64 { return float64(time.Since(w.start)) }
+
+func (w *wallBreaker) Allow() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Allow(w.now())
+}
+
+func (w *wallBreaker) OnSuccess() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.b.OnSuccess(w.now())
+}
+
+// OnFailure records a failure and reports whether it tripped the
+// breaker open (so the caller can count trips as they happen).
+func (w *wallBreaker) OnFailure() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	before := w.b.Opens()
+	w.b.OnFailure(w.now())
+	return w.b.Opens() > before
+}
+
+func (w *wallBreaker) State() fault.BreakerState {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.State()
+}
+
+func (w *wallBreaker) Opens() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Opens()
+}
+
+// Server dispatches /invoke requests over a sharded worker pool and
+// reports health and metrics. Create with New, expose with Handler,
+// stop with BeginDrain then Close.
+type Server struct {
+	cfg     Config
+	kernels map[string]workloads.Kernel
+	mods    map[string]*rt.Module // compiled once, shared read-only
+	shards  []*shard
+	breaker *wallBreaker
+	met     *metrics
+	start   time.Time
+
+	inFlight atomic.Int64
+	rr       atomic.Uint64 // round-robin shard cursor
+
+	// mu guards the enqueue-vs-Close race: Close sets closed and closes
+	// the shard queues under the write lock; enqueues hold the read
+	// lock, so no send can hit a closed channel.
+	mu       sync.RWMutex
+	closed   bool
+	draining atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// New builds and starts a server: workers launch immediately and the
+// returned server is ready to serve.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	suite := workloads.FaaS()
+	kernels := make(map[string]workloads.Kernel, len(cfg.Kernels))
+	mods := make(map[string]*rt.Module, len(cfg.Kernels))
+	for _, name := range cfg.Kernels {
+		k, err := suite.Find(name)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		mod, err := compileKernel(k)
+		if err != nil {
+			return nil, fmt.Errorf("server: compiling %s: %w", name, err)
+		}
+		kernels[name] = k
+		mods[name] = mod
+	}
+	if err := validBackend(cfg.DefaultBackend); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s := &Server{
+		cfg:     cfg,
+		kernels: kernels,
+		mods:    mods,
+		breaker: newWallBreaker(cfg.Breaker),
+		met:     newMetrics(cfg.Registry),
+		start:   time.Now(),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{
+			id:    i,
+			queue: make(chan *job, cfg.QueueDepth),
+		}
+		s.shards = append(s.shards, sh)
+		for w := 0; w < cfg.WorkersPerShard; w++ {
+			wk := newWorker(s, i*cfg.WorkersPerShard+w)
+			s.wg.Add(1)
+			go wk.run(sh.queue)
+		}
+	}
+	return s, nil
+}
+
+func validBackend(kind isolation.Kind) error {
+	for _, k := range isolation.Kinds() {
+		if k == kind {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown isolation backend %q (want one of %v)", kind, isolation.Kinds())
+}
+
+// shard is one dispatcher lane: a bounded queue feeding that lane's
+// workers.
+type shard struct {
+	id    int
+	queue chan *job
+}
+
+// job is one admitted request on its way through a shard queue.
+type job struct {
+	kernel   workloads.Kernel
+	backend  isolation.Kind
+	batch    uint64
+	admitted time.Time
+	deadline time.Time // zero = no deadline
+	done     chan jobResult
+}
+
+// jobResult is what a worker delivers back to the waiting handler.
+type jobResult struct {
+	status   int
+	err      string
+	checksum uint64
+	simNs    float64
+	worker   int
+}
+
+// BeginDrain flips the server to draining: /healthz turns 503 and new
+// /invoke requests are rejected, while queued and executing requests
+// finish. Call before shutting the HTTP listener down.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close stops the workers and releases their backends. Only call once
+// no handler can still be enqueueing — i.e. after BeginDrain plus
+// http.Server.Shutdown. Queued jobs are still executed before workers
+// exit (their waiters, if gone, are not blocked on: results are
+// buffered).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.draining.Store(true)
+		for _, sh := range s.shards {
+			close(sh.queue)
+		}
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Handler returns the server's HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/invoke/", s.handleInvoke)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// Stats is a point-in-time summary of the serving counters (for the
+// faasd shutdown report and tests).
+type Stats struct {
+	Requests     uint64
+	Completed    uint64
+	Shed         uint64
+	Timeouts     uint64
+	Failed       uint64
+	BreakerOpens uint64
+	InFlight     int64
+}
+
+// Stats snapshots the serving counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:     s.met.requests.Load(),
+		Completed:    s.met.completed.Load(),
+		Shed:         s.met.shed.Load(),
+		Timeouts:     s.met.timeouts.Load(),
+		Failed:       s.met.failed.Load(),
+		BreakerOpens: s.breaker.Opens(),
+		InFlight:     s.inFlight.Load(),
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	data, err := json.Marshal(v)
+	if err != nil {
+		// All payloads here are plain structs/maps of scalars.
+		panic(err)
+	}
+	w.Write(append(data, '\n'))
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := http.StatusOK
+	state := "ok"
+	if s.draining.Load() {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":    state,
+		"breaker":   s.breaker.State().String(),
+		"in_flight": s.inFlight.Load(),
+		"uptime_s":  time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(s.cfg.Registry.Snapshot().JSON())
+}
+
+// maxBatch bounds the per-request batch argument: the kernels are
+// linear in it, and an unbounded value would let one request occupy a
+// worker indefinitely.
+const maxBatch = 100000
+
+func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	s.met.requests.Inc()
+
+	name := strings.TrimPrefix(r.URL.Path, "/invoke/")
+	k, ok := s.kernels[name]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown kernel %q", name))
+		return
+	}
+	backend := s.cfg.DefaultBackend
+	if b := r.URL.Query().Get("backend"); b != "" {
+		backend = isolation.Kind(b)
+		if err := validBackend(backend); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	batch := k.TestArgs[0]
+	if n := r.URL.Query().Get("n"); n != "" {
+		v, err := strconv.ParseUint(n, 10, 64)
+		if err != nil || v < 1 || v > maxBatch {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("n must be an integer in [1, %d]", maxBatch))
+			return
+		}
+		batch = v
+	}
+
+	// Admission control, cheapest rejection first: drain state, then
+	// the breaker, then the in-flight limit, then the shard queue.
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if !s.breaker.Allow() {
+		s.met.shed.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "circuit breaker open")
+		return
+	}
+	if s.inFlight.Load() >= int64(s.cfg.MaxInFlight) {
+		s.met.shed.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "admission limit reached")
+		return
+	}
+
+	now := time.Now()
+	j := &job{
+		kernel:   k,
+		backend:  backend,
+		batch:    batch,
+		admitted: now,
+		done:     make(chan jobResult, 1),
+	}
+	if s.cfg.RequestTimeout > 0 {
+		j.deadline = now.Add(s.cfg.RequestTimeout)
+	}
+
+	// Deal to a shard round-robin; a full queue sheds immediately
+	// rather than blocking the handler (open-loop clients keep
+	// arriving regardless).
+	sh := s.shards[s.rr.Add(1)%uint64(len(s.shards))]
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	enqueued := false
+	select {
+	case sh.queue <- j:
+		enqueued = true
+		s.inFlight.Add(1)
+		s.met.inFlight.Set(s.inFlight.Load())
+	default:
+	}
+	s.mu.RUnlock()
+	if !enqueued {
+		s.met.shed.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "queue full")
+		return
+	}
+
+	select {
+	case res := <-j.done:
+		if res.status != http.StatusOK {
+			writeError(w, res.status, res.err)
+			return
+		}
+		wall := time.Since(j.admitted)
+		writeJSON(w, http.StatusOK, map[string]any{
+			"kernel":   k.Name,
+			"backend":  string(backend),
+			"n":        batch,
+			"checksum": res.checksum,
+			"sim_us":   res.simNs / 1e3,
+			"wall_us":  float64(wall.Nanoseconds()) / 1e3,
+			"worker":   res.worker,
+		})
+	case <-r.Context().Done():
+		// Client gone; the worker still completes and accounts the job
+		// (done is buffered, so it never blocks).
+		writeError(w, http.StatusServiceUnavailable, "client cancelled")
+	}
+}

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/isolation"
+	"repro/internal/mem"
+	"repro/internal/rt"
+	"repro/internal/sfi"
+	"repro/internal/workloads"
+)
+
+// compileKernel fetches a kernel's compiled module from the process-wide
+// race-safe compile cache, so N workers share one compilation.
+func compileKernel(k workloads.Kernel) (*rt.Module, error) {
+	cfg := sfi.DefaultConfig(sfi.ModeSegue)
+	return rt.CompileModuleCached(
+		rt.ModuleKey{Name: k.Name, Cfg: cfg},
+		func() *ir.Module { return k.Build(false) })
+}
+
+// worker is one executor goroutine. It owns its isolation backends
+// outright — simulated address spaces are single-owner — and runs one
+// request at a time: allocate a slot from the request's backend, build
+// a fresh instance in it, invoke the kernel, recycle the slot.
+type worker struct {
+	s        *Server
+	id       int
+	maxBytes uint64 // largest linear memory any served kernel needs
+	backends map[isolation.Kind]isolation.Backend
+}
+
+func newWorker(s *Server, id int) *worker {
+	var maxBytes uint64
+	for _, m := range s.mods {
+		if n := uint64(m.IR.MemMax) * ir.PageSize; n > maxBytes {
+			maxBytes = n
+		}
+	}
+	return &worker{
+		s:        s,
+		id:       id,
+		maxBytes: maxBytes,
+		backends: make(map[isolation.Kind]isolation.Backend),
+	}
+}
+
+// backend returns the worker's slab for kind, reserving it on first
+// use (a worker that never sees an MTE request never pays for an MTE
+// slab).
+func (w *worker) backend(kind isolation.Kind) (isolation.Backend, error) {
+	if b, ok := w.backends[kind]; ok {
+		return b, nil
+	}
+	cfg := isolation.Config{
+		Slots:          w.s.cfg.SlotsPerWorker,
+		MaxMemoryBytes: w.maxBytes,
+		GuardBytes:     1 << 20,
+	}
+	if kind == isolation.ColorGuard {
+		cfg.Keys = 15
+	}
+	b, err := isolation.NewReserved(kind, mem.NewAS(47), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("reserving %s backend: %w", kind, err)
+	}
+	if err := b.CheckIsolation(); err != nil {
+		_ = b.Release()
+		return nil, fmt.Errorf("%s slot layout unsafe: %w", kind, err)
+	}
+	w.backends[kind] = b
+	return b, nil
+}
+
+// run drains the shard queue until Close closes it, then releases the
+// worker's slabs.
+func (w *worker) run(queue <-chan *job) {
+	defer w.s.wg.Done()
+	defer func() {
+		for _, b := range w.backends {
+			_ = b.Release()
+		}
+	}()
+	for j := range queue {
+		w.serve(j)
+	}
+}
+
+// serve applies the degradation policies around one execution: a
+// request past its deadline is dropped before any isolation or compute
+// cost is sunk (and feeds the breaker, like the simulator's timeout
+// path); completions and failures feed the breaker the same way.
+func (w *worker) serve(j *job) {
+	defer func() {
+		w.s.met.inFlight.Set(w.s.inFlight.Add(-1))
+	}()
+	if !j.deadline.IsZero() && time.Now().After(j.deadline) {
+		w.s.met.timeouts.Inc()
+		if w.s.breaker.OnFailure() {
+			w.s.met.breakerOpens.Inc()
+		}
+		j.done <- jobResult{status: http.StatusGatewayTimeout, err: "deadline exceeded before execution"}
+		return
+	}
+	res := w.execute(j)
+	if res.status == http.StatusOK {
+		w.s.met.completed.Inc()
+		w.s.met.latency.Observe(float64(time.Since(j.admitted)))
+		w.s.breaker.OnSuccess()
+	} else {
+		w.s.met.failed.Inc()
+		if w.s.breaker.OnFailure() {
+			w.s.met.breakerOpens.Inc()
+		}
+	}
+	j.done <- res
+}
+
+// execute runs one request end to end on a fresh placed instance.
+func (w *worker) execute(j *job) jobResult {
+	mod := w.s.mods[j.kernel.Name]
+	b, err := w.backend(j.backend)
+	if err != nil {
+		return jobResult{status: http.StatusInternalServerError, err: err.Error()}
+	}
+	need := uint64(mod.IR.MemMin) * ir.PageSize
+	slot, err := b.Allocate(need)
+	if err != nil {
+		// Slot exhaustion: the serving-layer analogue of the
+		// simulator's SlotExhausted fault class.
+		return jobResult{status: http.StatusServiceUnavailable,
+			err: fmt.Sprintf("no free %s slot: %v", j.backend, err)}
+	}
+	inst, err := rt.NewInstance(mod, rt.InstanceOptions{
+		FSGSBASE: true,
+		Place:    isolation.Place(b, slot),
+	})
+	if err != nil {
+		_ = b.Recycle(slot)
+		return jobResult{status: http.StatusInternalServerError,
+			err: fmt.Sprintf("instantiating: %v", err)}
+	}
+	defer inst.Close()
+	out, err := inst.Invoke(j.kernel.Entry, j.batch)
+	if err != nil {
+		return jobResult{status: http.StatusInternalServerError,
+			err: fmt.Sprintf("invoking %s: %v", j.kernel.Name, err)}
+	}
+	var sum uint64
+	if len(out) > 0 {
+		sum = out[0]
+	}
+	return jobResult{
+		status:   http.StatusOK,
+		checksum: sum,
+		simNs:    inst.Mach.Stats.Nanos(&inst.Mach.Cost),
+		worker:   w.id,
+	}
+}

@@ -170,11 +170,26 @@ func (r *RNG) Float64() float64 {
 }
 
 // Intn returns a uniform value in [0, n). It panics when n <= 0.
+//
+// Draws are rejection-sampled: a raw 64-bit draw below 2^64 mod n would
+// over-weight the low residues (the classic modulo bias), so such draws
+// are discarded and redrawn. Accepted draws map to exactly the value the
+// old biased reduction produced, and the rejection region is at most
+// n/2^64 of the space, so existing seeded sequences are unchanged in
+// practice while the distribution is exactly uniform.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("stats: Intn with non-positive n")
 	}
-	return int(r.Uint64() % uint64(n))
+	un := uint64(n)
+	// 2^64 mod n, computed as (2^64 - n) mod n without overflow.
+	thresh := -un % un
+	for {
+		v := r.Uint64()
+		if v >= thresh {
+			return int(v % un)
+		}
+	}
 }
 
 // Exp returns an exponentially distributed value with the given mean.

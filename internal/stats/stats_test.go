@@ -124,6 +124,60 @@ func TestPoissonMean(t *testing.T) {
 	}
 }
 
+// TestIntnDistribution: Intn is range-correct, deterministic under a
+// fixed seed, and — now that draws below 2^64 mod n are rejected —
+// exactly uniform. The frequency check would not catch the old modulo
+// bias (it is ~n/2^64), so the rejection threshold itself is checked
+// white-box: accepted draws reduce to the same value the old code
+// produced, which is what keeps the golden tables byte-identical.
+func TestIntnDistribution(t *testing.T) {
+	// Range and uniform frequencies.
+	const n, draws = 10, 200000
+	r := NewRNG(31)
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn(%d) out of range: %d", n, v)
+		}
+		counts[v]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		// ~±4.5 sigma of Binomial(draws, 1/n): deterministic seed, so
+		// this never flakes; it does catch gross non-uniformity.
+		if math.Abs(float64(c)-want) > 600 {
+			t.Errorf("Intn(%d): value %d drawn %d times, want ≈%.0f", n, v, c, want)
+		}
+	}
+
+	// Determinism: same seed, same sequence.
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Intn(1<<20), b.Intn(1<<20); x != y {
+			t.Fatalf("Intn diverged at draw %d: %d vs %d", i, x, y)
+		}
+	}
+
+	// Accepted draws must reduce exactly as the pre-fix code did: mirror
+	// the raw stream and apply the reduction by hand.
+	raw := NewRNG(7)
+	red := NewRNG(7)
+	const m = 12345
+	um := uint64(m)
+	thresh := -um % um // 2^64 mod m
+	for i := 0; i < 1000; i++ {
+		got := red.Intn(m)
+		v := raw.Uint64()
+		for v < thresh {
+			v = raw.Uint64()
+		}
+		if got != int(v%um) {
+			t.Fatalf("draw %d: Intn(%d) = %d, want %d (accepted-draw reduction changed)", i, m, got, v%um)
+		}
+	}
+}
+
 func TestIntnPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,0 +1,92 @@
+package telemetry
+
+import "testing"
+
+// TestHistogramQuantileEmpty: an empty histogram reports 0 for every
+// quantile rather than interpolating garbage.
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram([]float64{10, 100})
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Errorf("empty histogram count/sum = %d/%g", h.Count(), h.Sum())
+	}
+}
+
+// TestHistogramQuantileSingle: with one observation the estimate
+// interpolates inside that observation's bucket — the rank target q·1
+// lands q of the way from the bucket's lower to its upper bound.
+func TestHistogramQuantileSingle(t *testing.T) {
+	h := NewHistogram([]float64{10, 100})
+	h.Observe(5) // bucket (0, 10]
+	for _, c := range []struct{ q, want float64 }{
+		{0.5, 5}, // halfway into (0, 10]
+		{1, 10},  // full rank = bucket's upper bound
+		{0.1, 1}, // a tenth of the way
+		{-1, 0},  // clamps to q=0 → rank 0 inside the first bucket
+		{2, 10},  // clamps to q=1
+	} {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("single-observation Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+// TestHistogramBucketBound: a value exactly on a bucket's upper bound
+// counts in that bucket (v <= bound), not the next one.
+func TestHistogramBucketBound(t *testing.T) {
+	h := NewHistogram([]float64{10, 100})
+	h.Observe(10)  // exactly the first bound → bucket (0, 10]
+	h.Observe(100) // exactly the last bound → bucket (10, 100], not overflow
+	s := h.snapshot()
+	if len(s.Buckets) != 2 {
+		t.Fatalf("buckets = %+v, want one count in each bound's bucket", s.Buckets)
+	}
+	if s.Buckets[0].LE != "10" || s.Buckets[0].Count != 1 {
+		t.Errorf("bucket 0 = %+v, want le=10 count=1", s.Buckets[0])
+	}
+	if s.Buckets[1].LE != "100" || s.Buckets[1].Count != 1 {
+		t.Errorf("bucket 1 = %+v, want le=100 count=1", s.Buckets[1])
+	}
+	// With both observations on bounds, the top quantile is the last
+	// finite bound.
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("Quantile(1) = %g, want 100", got)
+	}
+}
+
+// TestHistogramOverflowClamp: observations beyond the last bound land
+// in the overflow bucket and every quantile that falls there clamps to
+// the last finite bound — the histogram cannot resolve beyond it.
+func TestHistogramOverflowClamp(t *testing.T) {
+	h := NewHistogram([]float64{10, 100})
+	h.Observe(1e9)
+	h.Observe(2e9)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 100 {
+			t.Errorf("overflow-only Quantile(%g) = %g, want clamp to 100", q, got)
+		}
+	}
+	s := h.snapshot()
+	if len(s.Buckets) != 1 || s.Buckets[0].LE != "+Inf" || s.Buckets[0].Count != 2 {
+		t.Errorf("overflow snapshot buckets = %+v, want one +Inf bucket with 2", s.Buckets)
+	}
+	if h.Sum() != 3e9 {
+		t.Errorf("overflow sum = %g, want 3e9", h.Sum())
+	}
+
+	// Mixed: one in-range observation plus overflow — low quantiles see
+	// the finite bucket, high quantiles clamp.
+	m := NewHistogram([]float64{10, 100})
+	m.Observe(5)
+	m.Observe(1e9)
+	if got := m.Quantile(0.25); got != 5 {
+		t.Errorf("mixed Quantile(0.25) = %g, want 5", got)
+	}
+	if got := m.Quantile(0.99); got != 100 {
+		t.Errorf("mixed Quantile(0.99) = %g, want clamp to 100", got)
+	}
+}

@@ -43,6 +43,14 @@ flags=$(go run ./cmd/faassim -help 2>&1 || true)
 for f in faultrate faultseed timeout retries shed backend coldstart latency; do
     echo "$flags" | grep -q -- "-$f" || err "faassim flag -$f (documented) missing"
 done
+flags=$(go run ./cmd/faasd -help 2>&1 || true)
+for f in addr addrfile kernels backend shards workers queue maxinflight slots timeout breakerfails; do
+    echo "$flags" | grep -q -- "-$f" || err "faasd flag -$f (documented) missing"
+done
+flags=$(go run ./cmd/faasload -help 2>&1 || true)
+for f in url kernel rps seconds ramp json smoke strict; do
+    echo "$flags" | grep -q -- "-$f" || err "faasload flag -$f (documented) missing"
+done
 
 # --- 4. documented invocations run (smoke mode) -------------------------
 smoke() {

@@ -1,0 +1,56 @@
+#!/bin/sh
+# Serve benchmark: boot faasd, sweep an open-loop RPS ramp with
+# faasload, and leave the throughput/latency trajectory per step in
+# SERVE_results.json. Knobs come from the environment:
+#
+#	RAMP=100,200,400,800  rps steps (default below)
+#	SECONDS_PER_STEP=2    seconds each step runs
+#	KERNEL=regex-filtering
+#	OUT=SERVE_results.json
+#
+# Run from the repository root: sh tools/servebench.sh
+set -eu
+
+RAMP=${RAMP:-100,200,400,800}
+SECONDS_PER_STEP=${SECONDS_PER_STEP:-2}
+KERNEL=${KERNEL:-regex-filtering}
+OUT=${OUT:-SERVE_results.json}
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/faasd" ./cmd/faasd
+go build -o "$tmp/faasload" ./cmd/faasload
+
+"$tmp/faasd" -addr 127.0.0.1:0 -addrfile "$tmp/addr" >"$tmp/faasd.log" 2>&1 &
+pid=$!
+i=0
+while [ ! -s "$tmp/addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "servebench: faasd never published its address" >&2
+		cat "$tmp/faasd.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+addr=$(cat "$tmp/addr")
+echo "servebench: faasd on $addr, ramp $RAMP (${SECONDS_PER_STEP}s/step)"
+
+"$tmp/faasload" -url "http://$addr" -kernel "$KERNEL" \
+	-ramp "$RAMP" -seconds "$SECONDS_PER_STEP" -json "$OUT"
+
+kill -TERM "$pid"
+i=0
+while kill -0 "$pid" 2>/dev/null; do
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && break
+	sleep 0.1
+done
+pid=""
+echo "servebench: trajectory in $OUT"

@@ -1,0 +1,79 @@
+#!/bin/sh
+# Serve smoke test: boot faasd on an ephemeral port, prove the serving
+# path end to end — /healthz answers, a faasload burst completes with
+# zero errors, /metrics reports the request count — then SIGTERM and
+# require a clean drain (exit 0).
+#
+# Run from the repository root: sh tools/servesmoke.sh
+set -eu
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/faasd" ./cmd/faasd
+go build -o "$tmp/faasload" ./cmd/faasload
+
+"$tmp/faasd" -addr 127.0.0.1:0 -addrfile "$tmp/addr" >"$tmp/faasd.log" 2>&1 &
+pid=$!
+
+# Wait for the server to publish its bound address.
+i=0
+while [ ! -s "$tmp/addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "servesmoke: faasd never published its address" >&2
+		cat "$tmp/faasd.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+addr=$(cat "$tmp/addr")
+echo "servesmoke: faasd on $addr"
+
+python3 - "$addr" <<'EOF'
+import json, sys, urllib.request
+addr = sys.argv[1]
+h = json.load(urllib.request.urlopen(f"http://{addr}/healthz"))
+assert h["status"] == "ok", h
+EOF
+
+"$tmp/faasload" -url "http://$addr" -smoke -count 24
+
+python3 - "$addr" <<'EOF'
+import json, sys, urllib.request
+addr = sys.argv[1]
+m = json.load(urllib.request.urlopen(f"http://{addr}/metrics"))
+served = m["counters"]["server.requests"]
+assert served >= 24, m["counters"]
+assert m["counters"]["server.completed"] >= 24, m["counters"]
+print(f"servesmoke: /metrics reports {served} requests")
+EOF
+
+# Graceful drain: SIGTERM, then the process must exit 0 by itself.
+kill -TERM "$pid"
+i=0
+while kill -0 "$pid" 2>/dev/null; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "servesmoke: faasd did not drain within 10s" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+if ! wait "$pid"; then
+	echo "servesmoke: faasd exited non-zero after SIGTERM" >&2
+	cat "$tmp/faasd.log" >&2
+	exit 1
+fi
+pid=""
+grep -q "drained" "$tmp/faasd.log" || {
+	echo "servesmoke: no drain line in the log" >&2
+	cat "$tmp/faasd.log" >&2
+	exit 1
+}
+echo "servesmoke: clean drain"
