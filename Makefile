@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet ci docscheck bench-smoke bench results serve-smoke serve-bench
+.PHONY: build test race vet ci docscheck bench-smoke bench results benchdiff fuse-bench serve-smoke serve-bench
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,7 @@ ci:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	sh tools/servesmoke.sh
+	$(MAKE) fuse-bench
 
 # Documentation gate: package comments present, ARCHITECTURE.md linked
 # and complete, documented flags/ids exist, documented commands run in
@@ -43,9 +44,19 @@ bench:
 	$(GO) test -bench . -benchtime 1x .
 
 # Regenerate BENCH_results.json with before/after timings for the
-# SPEC-suite experiments, plus the telemetry-counter sidecar.
+# SPEC-suite experiments, plus the telemetry-counter sidecar, and
+# append a timestamped record to the perf trajectory (BENCH_history.jsonl).
 results:
-	$(GO) run ./cmd/benchtab -compare -results BENCH_results.json -metrics BENCH_metrics.json -o /dev/null fig3 fig5 fig4 table2
+	$(GO) run ./cmd/benchtab -compare -results BENCH_results.json -metrics BENCH_metrics.json -history BENCH_history.jsonl -o /dev/null fig3 fig5 fig4 table2
+
+# Wall-time deltas between the last two `make results` records.
+benchdiff:
+	sh tools/benchdiff.sh
+
+# Fused-tier smoke: the superinstruction tier must not be slower than
+# the predecoded tier on a real kernel (1.2x guard band for CI noise).
+fuse-bench:
+	REPRO_FUSEBENCH=1 $(GO) test -run TestFusedTierNotSlower -count=1 -v .
 
 # Serving-layer smoke: boot faasd on an ephemeral port, burst it with
 # faasload, check /healthz and /metrics, drain cleanly on SIGTERM.

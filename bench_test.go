@@ -36,10 +36,20 @@ var parallelFlag = flag.Int("j", 0, "experiment engine parallelism (0 = NumCPU)"
 func TestMain(m *testing.M) {
 	flag.Parse()
 	exp.SetParallelism(*parallelFlag)
-	// REPRO_SLOWPATH=1 runs every machine on the slow interpreter loop
-	// (the differential-testing oracle), for before/after comparisons.
-	if os.Getenv("REPRO_SLOWPATH") != "" {
-		cpu.SetForceSlowPath(true)
+	// REPRO_TIER selects the execution tier for every machine: slow (the
+	// differential-testing oracle), fast (predecoded), or fused (the
+	// default, profile-guided superinstructions) — for before/after
+	// comparisons. REPRO_SLOWPATH=1 is the legacy spelling of
+	// REPRO_TIER=slow.
+	if s := os.Getenv("REPRO_TIER"); s != "" {
+		tier, err := cpu.ParseTier(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "REPRO_TIER: %v\n", err)
+			os.Exit(2)
+		}
+		cpu.SetDefaultTier(tier)
+	} else if os.Getenv("REPRO_SLOWPATH") != "" {
+		cpu.SetDefaultTier(cpu.TierSlow)
 	}
 	os.Exit(m.Run())
 }

@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cpu"
 	"repro/internal/fault"
 	"repro/internal/isolation"
 	"repro/internal/server"
@@ -56,7 +57,15 @@ func main() {
 	breakerFails := flag.Int("breakerfails", 32, "consecutive failures that open the circuit breaker")
 	breakerOpen := flag.Duration("breakeropen", 2*time.Second, "how long an open breaker rejects before probing")
 	drainTimeout := flag.Duration("draintimeout", 10*time.Second, "how long a signal-triggered drain waits for in-flight requests")
+	tierFlag := flag.String("tier", "fused", "execution tier for worker instances: slow, fast, or fused")
 	flag.Parse()
+
+	tier, err := cpu.ParseTier(*tierFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faasd: -tier %s: %v\n", *tierFlag, err)
+		os.Exit(2)
+	}
+	cpu.SetDefaultTier(tier)
 
 	if err := validate(*shards, *workers, *queue, *maxInFlight, *slots, *timeout, *breakerFails, *breakerOpen, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "faasd:", err)

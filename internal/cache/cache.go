@@ -243,6 +243,30 @@ func lowerName(s string) string {
 type Hierarchy struct {
 	DTLB *TLB
 	L1D  *Cache
+
+	// lastLine memoizes the most recent Access: the line number (plus
+	// one, shifted by memoShift; 0 = invalid). A repeat access to the
+	// same line is necessarily a dTLB front-way hit and an L1 front-way
+	// hit with no LRU state change (the line is already most recent in
+	// both sets), so Access can short-circuit to two counter increments.
+	// Any other mutation of the structures — Flush, AccessL1 — must
+	// clear the memo. memoShift is the L1 line shift when built by
+	// NewHierarchy; for a hand-assembled Hierarchy it is zero, which
+	// degrades the memo to exact-address repeats (still correct, since
+	// the same address is a fortiori the same line and page).
+	//
+	// prevLine extends the memo to the second-most-recent line, for the
+	// stack/heap alternation the sandboxed code does constantly. It is
+	// usable only while prevOK: the two lines must index different dTLB
+	// sets and different L1 sets, so the older line is provably still
+	// the front way of both its sets (the newer access cannot have
+	// rotated them) and a repeat hit again changes no LRU state. The
+	// set-disjointness is computed once, when AccessFull rotates the
+	// memo, not per lookup.
+	lastLine  uint64
+	prevLine  uint64
+	prevOK    bool
+	memoShift uint
 }
 
 // NewHierarchy returns the default hierarchy.
@@ -250,15 +274,26 @@ func NewHierarchy() *Hierarchy {
 	l2 := NewCache("L2", 2<<20, 64, 16)
 	l1 := NewCache("L1D", 48<<10, 64, 12)
 	l1.Next = l2
-	return &Hierarchy{DTLB: NewTLB(64, 4), L1D: l1}
+	return &Hierarchy{DTLB: NewTLB(64, 4), L1D: l1, memoShift: l1.lineBits}
 }
 
 // Flush models a full address-space switch: TLB and caches lose their
 // useful contents. (Caches are physically tagged in reality, but a
 // process switch replaces the working set, which this approximates.)
 func (h *Hierarchy) Flush() {
+	h.lastLine, h.prevLine, h.prevOK = 0, 0, false
 	h.DTLB.Flush()
 	h.L1D.Flush()
+}
+
+// AccessL1 charges one access against the cache hierarchy only (no
+// dTLB), as host-call helpers touching guest memory do. It goes
+// through the Hierarchy rather than L1D directly so the same-line
+// memo is invalidated: the access may rotate or evict lines that the
+// memo assumed were most recent.
+func (h *Hierarchy) AccessL1(addr uint64) int {
+	h.lastLine, h.prevLine, h.prevOK = 0, 0, false
+	return h.L1D.Access(addr)
 }
 
 // Access charges one data access at addr through the whole hierarchy
@@ -275,6 +310,44 @@ func (h *Hierarchy) PublishTo(r *telemetry.Registry, prefix string) {
 }
 
 func (h *Hierarchy) Access(addr uint64) (tlbHit bool, missLevels int) {
+	if h.MemoHit(addr) {
+		return true, 0
+	}
+	return h.AccessFull(addr)
+}
+
+// MemoHit reports whether addr repeats the line of the immediately
+// preceding access, charging the guaranteed dTLB+L1 hit if so. It is
+// small enough to inline into the emulator's load/store fast path, so
+// the dominant same-line-repeat case pays no function call at all;
+// callers fall back to Access (or accessFull via Access) when it
+// returns false.
+func (h *Hierarchy) MemoHit(addr uint64) bool {
+	ln := addr>>h.memoShift + 1
+	if ln == h.lastLine {
+		h.DTLB.hits++
+		h.L1D.hits++
+		return true
+	}
+	if ln == h.prevLine && h.prevOK {
+		h.prevLine = h.lastLine
+		h.lastLine = ln
+		h.DTLB.hits++
+		h.L1D.hits++
+		return true
+	}
+	return false
+}
+
+// AccessFull is the general path: full dTLB and cache lookups, then
+// the memo records the line just accessed (now most recent in both
+// structures whatever the outcome — misses insert at the front too).
+// The displaced line stays usable as the second memo entry when it
+// can be proven undisturbed: its L1 set must differ from the new
+// line's (distinct lines in one set rotate the LRU order), and its
+// page must either be the same page (still the front TLB way) or
+// index a different TLB set.
+func (h *Hierarchy) AccessFull(addr uint64) (tlbHit bool, missLevels int) {
 	t := h.DTLB
 	vpn := addr >> t.pageBits
 	tb := int(vpn&(t.sets-1)) * t.ways
@@ -291,6 +364,17 @@ func (h *Hierarchy) Access(addr uint64) (tlbHit bool, missLevels int) {
 		c.hits++
 	} else {
 		missLevels = c.accessRest(cb, ln+1, addr)
+	}
+	m := addr>>h.memoShift + 1
+	if m != h.lastLine {
+		if prev := h.lastLine; prev != 0 {
+			pa := (prev - 1) << h.memoShift
+			pvpn := pa >> t.pageBits
+			h.prevOK = (pa>>c.lineBits)&(c.sets-1) != ln&(c.sets-1) &&
+				(pvpn == vpn || pvpn&(t.sets-1) != vpn&(t.sets-1))
+			h.prevLine = prev
+		}
+		h.lastLine = m
 	}
 	return
 }

@@ -138,3 +138,60 @@ func TestBadGeometryPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestHierarchyMemoEquivalence drives a Hierarchy and an identical
+// memo-free reference (separate TLB+Cache lookups) with the same
+// deterministic address stream — same-line repeats, stack/heap
+// alternation that exercises the two-entry memo, strided sweeps that
+// evict, and set-conflicting lines that must invalidate the second
+// entry — and requires bit-identical hit/miss counters throughout.
+func TestHierarchyMemoEquivalence(t *testing.T) {
+	h := NewHierarchy()
+	ref := NewHierarchy() // driven through the memo-free reference path
+
+	refAccess := func(addr uint64) (bool, int) {
+		return ref.DTLB.Access(addr), ref.L1D.Access(addr)
+	}
+
+	var addrs []uint64
+	const stack = 0x7f00_0000_0000
+	const heap = 0x1_0000_0000
+	// Same-line repeats and alternation between two disjoint lines.
+	for i := 0; i < 64; i++ {
+		addrs = append(addrs, stack+8*uint64(i%4), heap+uint64(i%2)*8)
+	}
+	// Lines that share an L1 set (48KiB/12-way over 64B lines is 64
+	// sets, so addresses 4096 apart map to the same set).
+	for i := 0; i < 32; i++ {
+		addrs = append(addrs, heap+uint64(i%3)*4096)
+	}
+	// A large stride sweep to force evictions at every level.
+	for i := 0; i < 4096; i++ {
+		addrs = append(addrs, heap+uint64(i)*64)
+	}
+	// Revisit the early working set.
+	for i := 0; i < 64; i++ {
+		addrs = append(addrs, stack+8*uint64(i%4), heap+uint64(i%2)*8)
+	}
+
+	for i, a := range addrs {
+		gotTLB, gotMiss := h.Access(a)
+		wantTLB, wantMiss := refAccess(a)
+		if gotTLB != wantTLB || gotMiss != wantMiss {
+			t.Fatalf("access %d (%#x): memo (%v,%d) != reference (%v,%d)",
+				i, a, gotTLB, gotMiss, wantTLB, wantMiss)
+		}
+		if h.DTLB.Hits() != ref.DTLB.Hits() || h.DTLB.Misses() != ref.DTLB.Misses() {
+			t.Fatalf("access %d (%#x): dTLB counters diverge: %d/%d vs %d/%d",
+				i, a, h.DTLB.Hits(), h.DTLB.Misses(), ref.DTLB.Hits(), ref.DTLB.Misses())
+		}
+		if h.L1D.Hits() != ref.L1D.Hits() || h.L1D.Misses() != ref.L1D.Misses() {
+			t.Fatalf("access %d (%#x): L1 counters diverge: %d/%d vs %d/%d",
+				i, a, h.L1D.Hits(), h.L1D.Misses(), ref.L1D.Hits(), ref.L1D.Misses())
+		}
+		l2, rl2 := h.L1D.Next, ref.L1D.Next
+		if l2.Hits() != rl2.Hits() || l2.Misses() != rl2.Misses() {
+			t.Fatalf("access %d (%#x): L2 counters diverge", i, a)
+		}
+	}
+}

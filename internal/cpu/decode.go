@@ -44,10 +44,19 @@ type daccess struct {
 	base   uint8 // dRegNone when absent
 	index  uint8 // dRegNone when absent (or scale 0)
 	scale  uint8
+	shape  uint8 // effective-address shape (eaSlow/eaBaseDisp/eaBaseDispGS)
 	addr32 bool
 	imm    int64  // immediate value, or branch-target label
 	disp   uint64 // sign-extended displacement, ready to add
 }
+
+// Effective-address shapes (daccess.shape), classified once at decode
+// time so eaD's fast cases inline into the dispatch loops.
+const (
+	eaSlow       uint8 = iota // general recipe: index, addr32, or FS
+	eaBaseDisp                // Regs[base] + disp
+	eaBaseDispGS              // Regs[base] + disp + GSBase
+)
 
 // dinst is one predecoded instruction.
 type dinst struct {
@@ -98,6 +107,14 @@ func decodeAccess(o x86.Operand) daccess {
 			a.seg = dSegGS
 		case x86.SegFS:
 			a.seg = dSegFS
+		}
+		if a.base != dRegNone && a.index == dRegNone && !a.addr32 {
+			switch a.seg {
+			case dSegNone:
+				a.shape = eaBaseDisp
+			case dSegGS:
+				a.shape = eaBaseDispGS
+			}
 		}
 		return a
 	default:

@@ -12,16 +12,70 @@ import (
 	"repro/internal/x86"
 )
 
-// forceSlowPath, when set, makes NewMachine default new machines to the
-// slow interpreter loop. It lets benchmark drivers measure the fast
-// path's win process-wide without threading a flag through every
-// instantiation site.
-var forceSlowPath atomic.Bool
+// Tier selects which execution engine a Machine dispatches through.
+// Every tier produces bit-identical architectural state, Stats, and
+// traps; they differ only in how much work is resolved ahead of the
+// dispatch loop.
+type Tier uint8
 
-// SetForceSlowPath toggles whether newly constructed Machines default to
-// the slow interpreter loop. Machines that already exist are unaffected;
-// per-machine SlowPath assignments still override the default.
-func SetForceSlowPath(on bool) { forceSlowPath.Store(on) }
+// Execution tiers, from oracle to most optimized.
+const (
+	// TierSlow is the original portable interpreter: operand kinds,
+	// segment bases, and encoded lengths are re-resolved on every step.
+	// It is the differential-testing oracle the other tiers are pinned
+	// against.
+	TierSlow Tier = iota
+	// TierFast executes the predecoded dinst stream (decode.go).
+	TierFast
+	// TierFused executes the predecoded stream until a lightweight
+	// profile pass identifies hot code, then switches to a fused
+	// superinstruction stream (fuse.go) built once per Program and
+	// shared by every Machine running it.
+	TierFused
+)
+
+// String returns the tier's flag spelling.
+func (t Tier) String() string {
+	switch t {
+	case TierSlow:
+		return "slow"
+	case TierFast:
+		return "fast"
+	case TierFused:
+		return "fused"
+	default:
+		return fmt.Sprintf("tier%d", uint8(t))
+	}
+}
+
+// ParseTier parses a -tier flag value.
+func ParseTier(s string) (Tier, error) {
+	switch s {
+	case "slow":
+		return TierSlow, nil
+	case "fast":
+		return TierFast, nil
+	case "fused":
+		return TierFused, nil
+	default:
+		return TierFast, fmt.Errorf("cpu: unknown tier %q (want slow, fast, or fused)", s)
+	}
+}
+
+// defaultTier is the tier NewMachine assigns. It lets benchmark drivers
+// and servers select an engine process-wide without threading a flag
+// through every instantiation site.
+var defaultTier atomic.Uint32
+
+func init() { defaultTier.Store(uint32(TierFused)) }
+
+// SetDefaultTier selects the tier newly constructed Machines use.
+// Machines that already exist are unaffected; per-machine Tier
+// assignments still override the default.
+func SetDefaultTier(t Tier) { defaultTier.Store(uint32(t)) }
+
+// DefaultTier returns the tier NewMachine currently assigns.
+func DefaultTier() Tier { return Tier(defaultTier.Load()) }
 
 // ArgRegs is the internal calling convention's integer argument
 // registers (SysV order). Float arguments use xmm0..xmm5 by position.
@@ -81,13 +135,20 @@ type Machine struct {
 	// slice so the compiled Program stays immutable and shareable.
 	Hosts []HostFunc
 
-	// SlowPath forces the portable, switch-heavy interpreter loop that
-	// predates the predecoded fast path. The fast path is the default;
-	// the slow path is kept as the differential-testing oracle.
-	SlowPath bool
+	// Tier selects the execution engine (see the Tier constants). The
+	// slow tier is kept as the differential-testing oracle; all tiers
+	// produce bit-identical state and Stats.
+	Tier Tier
 
 	frames []frame
 	bpred  []uint8 // 2-bit bimodal predictor
+
+	// profCounts holds per-function per-pc execution counts while a
+	// fused-tier machine is in its profiling warmup; nil otherwise, so
+	// the fast path's gate is one hoisted nil check per frame. profLeft
+	// is the remaining per-Run profile budget (see profile.go).
+	profCounts [][]uint32
+	profLeft   int64
 
 	// Per-machine opcode cost table, derived from Cost on first use
 	// and rebuilt whenever Cost changes (CostModel is comparable).
@@ -142,7 +203,7 @@ func NewMachine(as *mem.AS, prog *Program) *Machine {
 		Cost:         DefaultCostModel(),
 		Prog:         prog,
 		Hosts:        prog.Hosts,
-		SlowPath:     forceSlowPath.Load(),
+		Tier:         DefaultTier(),
 		MaxCallDepth: 10000,
 		bpred:        make([]uint8, 1<<14),
 	}
@@ -479,31 +540,43 @@ func (m *Machine) predictBranch(fn, pc int, taken bool) {
 // atomics. With telemetry disabled the only added work is one atomic
 // load per Run.
 var (
-	ctrDispatchFast = telemetry.Default.Counter("cpu.dispatch.fast")
-	ctrDispatchSlow = telemetry.Default.Counter("cpu.dispatch.slow")
-	ctrInstsRetired = telemetry.Default.Counter("cpu.insts_retired")
+	ctrDispatchFast  = telemetry.Default.Counter("cpu.dispatch.fast")
+	ctrDispatchSlow  = telemetry.Default.Counter("cpu.dispatch.slow")
+	ctrDispatchFused = telemetry.Default.Counter("cpu.dispatch.fused")
+	ctrInstsRetired  = telemetry.Default.Counter("cpu.insts_retired")
+	gaugeTier        = telemetry.Default.Gauge("cpu.tier")
 )
 
 // Run executes until the outermost function returns, a trap occurs, or
 // the epoch deadline fires. After a resumable TrapEpoch, calling Run
 // again continues execution.
 //
-// Execution uses the predecoded fast path by default; set SlowPath to
-// force the original portable loop (the differential-testing oracle).
-// Both paths produce bit-identical architectural state and Stats.
+// The engine is selected by Tier (predecoded fast path by default via
+// SetDefaultTier; TierSlow forces the original portable loop, the
+// differential-testing oracle; TierFused adds profile-guided
+// superinstruction fusion). All tiers produce bit-identical
+// architectural state and Stats.
 func (m *Machine) Run() error {
 	if !telemetry.Enabled() {
-		if m.SlowPath {
+		switch m.Tier {
+		case TierSlow:
 			return m.runSlow()
+		case TierFused:
+			return m.runTiered(false)
+		default:
+			return m.runFast()
 		}
-		return m.runFast()
 	}
 	before := m.Stats.Insts
+	gaugeTier.Set(int64(m.Tier))
 	var err error
-	if m.SlowPath {
+	switch m.Tier {
+	case TierSlow:
 		ctrDispatchSlow.Inc()
 		err = m.runSlow()
-	} else {
+	case TierFused:
+		err = m.runTiered(true)
+	default:
 		ctrDispatchFast.Inc()
 		err = m.runFast()
 	}

@@ -6,47 +6,51 @@ import (
 	"repro/internal/x86"
 )
 
-// diffRun executes the same call on a fast-path and a slow-path machine
-// built from identical environments and asserts the architectural state
-// and Stats are bit-identical.
+// diffRun executes the same call on one machine per tier, built from
+// identical environments, and asserts the architectural state and Stats
+// are bit-identical across all of them. The fused tier runs eagerly so
+// these short programs execute on the fused stream, not the warmup path.
 func diffRun(t *testing.T, funcs []*Func, fnIdx int, args ...uint64) {
 	t.Helper()
-	run := func(slow bool) (*Machine, error) {
+	SetFuseEager(true)
+	defer SetFuseEager(false)
+	run := func(tier Tier) (*Machine, error) {
 		m, heap := testEnv(t, funcs...)
-		m.SlowPath = slow
+		m.Tier = tier
 		m.Regs[x86.RDX] = heap // convention: heap base in rdx for mem tests
 		err := m.Call(fnIdx, args...)
 		return m, err
 	}
-	fast, errF := run(false)
-	slow, errS := run(true)
-
-	if (errF == nil) != (errS == nil) {
-		t.Fatalf("error mismatch: fast=%v slow=%v", errF, errS)
-	}
-	if errF != nil && errF.Error() != errS.Error() {
-		t.Fatalf("error text mismatch: fast=%v slow=%v", errF, errS)
-	}
-	if fast.Regs != slow.Regs {
-		t.Fatalf("register mismatch:\nfast %v\nslow %v", fast.Regs, slow.Regs)
-	}
-	if fast.XmmLo != slow.XmmLo || fast.XmmHi != slow.XmmHi {
-		t.Fatalf("xmm mismatch")
-	}
-	if fast.GSBase != slow.GSBase || fast.FSBase != slow.FSBase || fast.PKRU != slow.PKRU {
-		t.Fatalf("segment/pkru mismatch")
-	}
-	if fast.zf != slow.zf || fast.sf != slow.sf || fast.cf != slow.cf || fast.of != slow.of {
-		t.Fatalf("flags mismatch")
-	}
-	if fast.Stats != slow.Stats {
-		t.Fatalf("stats mismatch:\nfast %+v\nslow %+v", fast.Stats, slow.Stats)
-	}
-	// Compare the heap region the programs may have written.
-	const heapBase = 0x100000000
-	for off := uint64(0); off < 4096; off += 8 {
-		if f, s := fast.AS.Load(heapBase+off, 8), slow.AS.Load(heapBase+off, 8); f != s {
-			t.Fatalf("heap mismatch at +%#x: fast %#x slow %#x", off, f, s)
+	slow, errS := run(TierSlow)
+	for _, tier := range []Tier{TierFast, TierFused} {
+		got, errG := run(tier)
+		if (errG == nil) != (errS == nil) {
+			t.Fatalf("%v error mismatch: %v=%v slow=%v", tier, tier, errG, errS)
+		}
+		if errG != nil && errG.Error() != errS.Error() {
+			t.Fatalf("%v error text mismatch: %v=%v slow=%v", tier, tier, errG, errS)
+		}
+		if got.Regs != slow.Regs {
+			t.Fatalf("%v register mismatch:\n%v %v\nslow %v", tier, tier, got.Regs, slow.Regs)
+		}
+		if got.XmmLo != slow.XmmLo || got.XmmHi != slow.XmmHi {
+			t.Fatalf("%v xmm mismatch", tier)
+		}
+		if got.GSBase != slow.GSBase || got.FSBase != slow.FSBase || got.PKRU != slow.PKRU {
+			t.Fatalf("%v segment/pkru mismatch", tier)
+		}
+		if got.zf != slow.zf || got.sf != slow.sf || got.cf != slow.cf || got.of != slow.of {
+			t.Fatalf("%v flags mismatch", tier)
+		}
+		if got.Stats != slow.Stats {
+			t.Fatalf("%v stats mismatch:\n%v %+v\nslow %+v", tier, tier, got.Stats, slow.Stats)
+		}
+		// Compare the heap region the programs may have written.
+		const heapBase = 0x100000000
+		for off := uint64(0); off < 4096; off += 8 {
+			if g, s := got.AS.Load(heapBase+off, 8), slow.AS.Load(heapBase+off, 8); g != s {
+				t.Fatalf("%v heap mismatch at +%#x: %#x slow %#x", tier, off, g, s)
+			}
 		}
 	}
 }

@@ -1,287 +1,42 @@
 package cpu
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math"
 
-	"repro/internal/mem"
 	"repro/internal/x86"
 )
 
-// This file is the predecoded execution engine. It is a line-for-line
-// mirror of runSlow in machine.go operating on the flat dinst array
-// from decode.go: operand dispatch happens on a predecoded byte,
-// effective addresses come from a precomputed recipe (no x86.Mem
-// interpretation, no segment switch), encoded lengths are inline, and
-// opcode base costs come from a dense per-machine table. Instructions
-// are accessed by pointer, so the ~130-byte x86.Inst copy the slow
-// path pays per step disappears.
+// This file is the fused execution engine (tier 2). runFused is a
+// line-for-line mirror of runFast in machine_fast.go operating on the
+// fused finst stream from fuse.go: singleton entries carry the same
+// predecoded fields (finst embeds dinst) and execute through identical
+// code, and group heads dispatch once for two or three constituents
+// whose operand recipes were fully resolved at fuse time.
 //
-// Any change here must be reflected in runSlow (and vice versa); the
-// differential tests in machine_fast_test.go and internal/rt assert
-// bit-identical registers, memory, and Stats between the two paths.
+// The invariants that keep this tier bit-identical to the oracle:
+//   - each constituent charges its own precomputed base cost cs[pc+i]
+//     in original program order (float accumulation order is part of
+//     the architecture here), with memory penalties interleaved exactly
+//     where the unfused engines charge them;
+//   - Insts/BytesFetched are integer accumulators, so a group batches
+//     them;
+//   - fr.pc is set to the constituent's original index before any step
+//     that can trap, so Trap{Fn,PC} and fault resume points match;
+//   - the fused stream is same-indexed with the decoded stream, so
+//     branch targets, return addresses, and epoch resume need no
+//     translation, and branching into the middle of a group lands on a
+//     plain singleton copy of that instruction.
+//
+// Any semantic change in runSlow/runFast must be mirrored here; the
+// differential tests in machine_fast_test.go, fuse_test.go, and
+// internal/rt pin all three engines against each other.
 
-// grantForRest fills the access-grant cache entry for addr's page
-// from the VMA list, after the open-coded valid-entry check in
-// loadFast/storeFast missed. A nil return means the page is unmapped
-// (or the entry can't be established); callers fall back to the
-// layered path for exact fault semantics. Entries are validated
-// against the address space's mapping generation, so mprotect/munmap/
-// madvise from host calls invalidate the cache.
-func (m *Machine) grantForRest(addr, pn uint64) *mtcEntry {
-	if g := m.AS.Gen(); g != m.mtcGen {
-		m.mtc = [mtcSize]mtcEntry{}
-		m.mtcGen = g
-	}
-	e := &m.mtc[pn&(mtcSize-1)]
-	if e.pnPlus1 != pn+1 {
-		v, ok := m.AS.VMAAt(addr)
-		if !ok {
-			return nil
-		}
-		*e = mtcEntry{pnPlus1: pn + 1, pg: m.AS.PageFor(addr, false), prot: v.Prot, pkey: v.Pkey}
-		e.refreshPerms(m.PKRU)
-	} else if e.pkru != m.PKRU {
-		e.refreshPerms(m.PKRU)
-	}
-	return e
-}
-
-// loadFast is m.load fused with the grant cache: a hit skips the VMA
-// walk and the page-map hash and reads page bytes directly. The cost
-// accounting (MemReads, TLB, L1/L2) is the exact memCost sequence.
-// Page-straddling accesses, unmapped pages, and permission denials
-// fall back to m.load, which reproduces the exact fault.
-func (m *Machine) loadFast(addr uint64, size int) (uint64, error) {
-	off := addr & (mem.PageSize - 1)
-	if off+uint64(size) > mem.PageSize {
-		return m.load(addr, size)
-	}
-	// Open-coded grant-cache hit check (see grantForRest).
-	pn := addr / mem.PageSize
-	e := &m.mtc[pn&(mtcSize-1)]
-	if e.pnPlus1 != pn+1 || m.mtcGen != m.AS.Gen() || e.pkru != m.PKRU {
-		e = m.grantForRest(addr, pn)
-	}
-	if e == nil || !e.readOK {
-		return m.load(addr, size)
-	}
-	// The exact memCost sequence, open-coded to drop a call level from
-	// the hottest path in the emulator. A same-line repeat (MemoHit,
-	// inlined) is a guaranteed dTLB+L1 hit: no penalty cycles.
-	m.Stats.MemReads++
-	if !m.Hier.MemoHit(addr) {
-		tlbHit, missLevels := m.Hier.AccessFull(addr)
-		if !tlbHit {
-			m.Stats.Cycles += m.Cost.TLBMiss
-		}
-		switch missLevels {
-		case 0:
-		case 1:
-			m.Stats.Cycles += m.Cost.L2Hit
-		default:
-			m.Stats.Cycles += m.Cost.MemAccess
-		}
-	}
-	pg := e.pg
-	if pg == nil {
-		// The page may have been allocated since the entry was filled.
-		if pg = m.AS.PageFor(addr, false); pg == nil {
-			return 0, nil
-		}
-		e.pg = pg
-	}
-	switch size {
-	case 8:
-		return binary.LittleEndian.Uint64(pg[off : off+8]), nil
-	case 4:
-		return uint64(binary.LittleEndian.Uint32(pg[off : off+4])), nil
-	case 2:
-		return uint64(binary.LittleEndian.Uint16(pg[off : off+2])), nil
-	case 1:
-		return uint64(pg[off]), nil
-	}
-	return m.AS.Load(addr, size), nil
-}
-
-// storeFast is m.store fused with the grant cache; see loadFast.
-func (m *Machine) storeFast(addr uint64, size int, v uint64) error {
-	off := addr & (mem.PageSize - 1)
-	if off+uint64(size) > mem.PageSize {
-		return m.store(addr, size, v)
-	}
-	// Open-coded grant-cache hit check (see grantForRest).
-	pn := addr / mem.PageSize
-	e := &m.mtc[pn&(mtcSize-1)]
-	if e.pnPlus1 != pn+1 || m.mtcGen != m.AS.Gen() || e.pkru != m.PKRU {
-		e = m.grantForRest(addr, pn)
-	}
-	if e == nil || !e.writeOK {
-		return m.store(addr, size, v)
-	}
-	m.Stats.MemWrites++
-	if !m.Hier.MemoHit(addr) {
-		tlbHit, missLevels := m.Hier.AccessFull(addr)
-		if !tlbHit {
-			m.Stats.Cycles += m.Cost.TLBMiss
-		}
-		switch missLevels {
-		case 0:
-		case 1:
-			m.Stats.Cycles += m.Cost.L2Hit
-		default:
-			m.Stats.Cycles += m.Cost.MemAccess
-		}
-	}
-	pg := e.pg
-	if pg == nil {
-		pg = m.AS.PageFor(addr, true)
-		e.pg = pg
-	}
-	switch size {
-	case 8:
-		binary.LittleEndian.PutUint64(pg[off:off+8], v)
-	case 4:
-		binary.LittleEndian.PutUint32(pg[off:off+4], uint32(v))
-	case 2:
-		binary.LittleEndian.PutUint16(pg[off:off+2], uint16(v))
-	case 1:
-		pg[off] = byte(v)
-	default:
-		m.AS.Store(addr, size, v)
-	}
-	return nil
-}
-
-// eaD computes the effective address from a predecoded recipe,
-// matching Machine.ea: base + scaled index + displacement, truncated
-// under the address-size override, then segment-based (unless LEA).
-// The two shapes that dominate SFI code — base+disp and
-// base+disp+GS — are classified at decode time (daccess.shape) and
-// handled here so the whole computation inlines into the dispatch
-// loops; everything else goes through eaDRest. eaD always applies the
-// segment base; the only no-segment caller is LEA, which uses eaDRest
-// directly.
-func (m *Machine) eaD(a *daccess) uint64 {
-	if a.shape == eaBaseDisp {
-		return m.Regs[a.base&15] + a.disp
-	}
-	return m.eaDSeg(a)
-}
-
-func (m *Machine) eaDSeg(a *daccess) uint64 {
-	if a.shape == eaBaseDispGS {
-		return m.Regs[a.base&15] + a.disp + m.GSBase
-	}
-	return m.eaDRest(a, true)
-}
-
-func (m *Machine) eaDRest(a *daccess, withSeg bool) uint64 {
-	sum := a.disp
-	if a.base != dRegNone {
-		sum += m.Regs[a.base]
-	}
-	if a.index != dRegNone {
-		sum += m.Regs[a.index] * uint64(a.scale)
-	}
-	if a.addr32 {
-		sum = uint64(uint32(sum))
-	}
-	if withSeg {
-		switch a.seg {
-		case dSegGS:
-			sum += m.GSBase
-		case dSegFS:
-			sum += m.FSBase
-		}
-	}
-	return sum
-}
-
-// readOpD reads a predecoded operand at width w. The register case is
-// kept small enough to inline into runFast's dispatch cases; everything
-// else goes through readOpDRest.
-func (m *Machine) readOpD(a *daccess, w x86.Width) (uint64, error) {
-	if a.kind == dReg {
-		return m.Regs[a.reg&15] & wmask[w&31], nil
-	}
-	return m.readOpDRest(a, w)
-}
-
-func (m *Machine) readOpDRest(a *daccess, w x86.Width) (uint64, error) {
-	switch a.kind {
-	case dReg:
-		return maskW(m.Regs[a.reg], w), nil
-	case dImm:
-		return maskW(uint64(a.imm), w), nil
-	case dMem:
-		return m.loadFast(m.eaD(a), int(w))
-	case dXmm:
-		return m.XmmLo[a.reg], nil
-	default:
-		return 0, fmt.Errorf("cpu: unreadable operand kind %d", a.kind)
-	}
-}
-
-// writeOpD writes a predecoded operand at width w with the same
-// merge/zero-extend rules as writeOp. The full-width and 32-bit
-// register cases inline; merges and memory go through writeOpDRest.
-func (m *Machine) writeOpD(a *daccess, w x86.Width, v uint64) error {
-	if a.kind == dReg && w >= x86.W32 {
-		m.Regs[a.reg&15] = v & wmask[w&31]
-		return nil
-	}
-	return m.writeOpDRest(a, w, v)
-}
-
-func (m *Machine) writeOpDRest(a *daccess, w x86.Width, v uint64) error {
-	switch a.kind {
-	case dReg:
-		switch w {
-		case x86.W64:
-			m.Regs[a.reg] = v
-		case x86.W32:
-			m.Regs[a.reg] = v & 0xFFFFFFFF
-		case x86.W16:
-			m.Regs[a.reg] = m.Regs[a.reg]&^uint64(0xFFFF) | v&0xFFFF
-		case x86.W8:
-			m.Regs[a.reg] = m.Regs[a.reg]&^uint64(0xFF) | v&0xFF
-		}
-		return nil
-	case dMem:
-		return m.storeFast(m.eaD(a), int(w), v)
-	case dXmm:
-		m.XmmLo[a.reg] = v
-		return nil
-	default:
-		return fmt.Errorf("cpu: unwritable operand kind %d", a.kind)
-	}
-}
-
-// readFD reads a predecoded f64 operand.
-func (m *Machine) readFD(a *daccess) (float64, error) {
-	switch a.kind {
-	case dXmm:
-		return math.Float64frombits(m.XmmLo[a.reg]), nil
-	case dMem:
-		v, err := m.loadFast(m.eaD(a), 8)
-		return math.Float64frombits(v), err
-	default:
-		return 0, fmt.Errorf("cpu: bad f64 operand kind %d", a.kind)
-	}
-}
-
-// runFast executes using the predecoded program. Semantics, trap
-// behaviour, and Stats accounting are bit-identical to runSlow.
-func (m *Machine) runFast() error {
+// runFused executes using the fused stream. Semantics, trap behaviour,
+// and Stats accounting are bit-identical to runSlow and runFast.
+func (m *Machine) runFused(fp *fusedProg) error {
 	dec := m.Prog.decoded()
 	dcost := m.instCosts(dec)
-	// Insts and BytesFetched are pure accumulators — nothing reads them
-	// until the run completes — so they live in locals and flush once on
-	// exit instead of paying two read-modify-writes per instruction.
-	// Cycles stays canonical in m.Stats: memCost, traps, and host calls
-	// read and update it mid-run.
 	var nInsts, nBytes uint64
 	defer func() {
 		m.Stats.Insts += nInsts
@@ -289,19 +44,9 @@ func (m *Machine) runFast() error {
 	}()
 frames:
 	for len(m.frames) > 0 {
-		// Hoist the per-frame state: the instruction and cost slices only
-		// change when the frame stack does (call/ret/host), so the inner
-		// loop dispatches straight off two locals instead of re-indexing
-		// dec and dcost through fr.fn on every instruction.
 		fr := &m.frames[len(m.frames)-1]
-		insts := dec[fr.fn].insts
-		cs := dcost[fr.fn][:len(insts)] // same length, so cs[pc] shares insts' bounds check
-		// The fused tier's profile pass: nil for fast-tier machines, so
-		// the per-instruction cost is one predictable branch.
-		var pcnt []uint32
-		if m.profCounts != nil {
-			pcnt = m.profCounts[fr.fn]
-		}
+		insts := fp.funcs[fr.fn].insts
+		cs := dcost[fr.fn][:len(insts)] // same length as the decoded stream
 		for {
 			pc := fr.pc
 			if uint(pc) >= uint(len(insts)) {
@@ -309,31 +54,299 @@ frames:
 			}
 			in := &insts[pc]
 
-			if pcnt != nil {
-				// Bail at the instruction boundary: nothing executed or
-				// charged yet and fr.pc == pc, so runTiered can resume
-				// this exact instruction on the fused stream.
-				if m.profLeft <= 0 {
-					return errProfileBudget
-				}
-				m.profLeft--
-				pcnt[pc]++
-			}
-
 			nInsts++
 			nBytes += uint64(in.ilen)
 			m.Stats.Cycles += cs[pc]
 
 			next := pc + 1
 			switch in.op {
+			case opGroup:
+				steps := in.steps
+				n := len(steps)
+				nInsts += uint64(n - 1)
+				nBytes += uint64(in.gxBytes)
+				next = pc + n
+				for i := 0; i < n; i++ {
+					st := &steps[i]
+					if i != 0 {
+						m.Stats.Cycles += cs[pc+i]
+					}
+					// Memory and trap steps set fr.pc = pc+i themselves, so
+					// faults attribute to the constituent's original index;
+					// pure register steps skip that store.
+					switch st.kind {
+					case fsMovRR:
+						m.Regs[st.dst&15] = m.Regs[st.src&15] & wmask[st.w&31]
+					case fsMovRI:
+						m.Regs[st.dst&15] = uint64(st.imm) & wmask[st.w&31]
+					case fsExt:
+						v := m.Regs[st.src&15] & wmask[st.srcW&31]
+						if st.op == x86.MOVSX {
+							v = signExtend(v, st.srcW)
+						}
+						m.Regs[st.dst&15] = v & wmask[st.w&31]
+					case fsLea:
+						m.Regs[st.dst&15] = m.eaDRest(st.mem, false) & wmask[st.w&31]
+
+					case fsAddRR:
+						a := m.Regs[st.dst&15] & wmask[st.w&31]
+						b := m.Regs[st.src&15] & wmask[st.w&31]
+						res := a + b
+						m.setFlagsAdd(a, b, res, st.w)
+						m.Regs[st.dst&15] = res & wmask[st.w&31]
+					case fsAddRI:
+						a := m.Regs[st.dst&15] & wmask[st.w&31]
+						b := uint64(st.imm) & wmask[st.w&31]
+						res := a + b
+						m.setFlagsAdd(a, b, res, st.w)
+						m.Regs[st.dst&15] = res & wmask[st.w&31]
+					case fsSubRR:
+						a := m.Regs[st.dst&15] & wmask[st.w&31]
+						b := m.Regs[st.src&15] & wmask[st.w&31]
+						res := a - b
+						m.setFlagsSub(a, b, res, st.w)
+						m.Regs[st.dst&15] = res & wmask[st.w&31]
+					case fsSubRI:
+						a := m.Regs[st.dst&15] & wmask[st.w&31]
+						b := uint64(st.imm) & wmask[st.w&31]
+						res := a - b
+						m.setFlagsSub(a, b, res, st.w)
+						m.Regs[st.dst&15] = res & wmask[st.w&31]
+					case fsAndRR:
+						res := (m.Regs[st.dst&15] & wmask[st.w&31]) & (m.Regs[st.src&15] & wmask[st.w&31])
+						m.setFlagsLogic(res, st.w)
+						m.Regs[st.dst&15] = res & wmask[st.w&31]
+					case fsAndRI:
+						res := (m.Regs[st.dst&15] & wmask[st.w&31]) & (uint64(st.imm) & wmask[st.w&31])
+						m.setFlagsLogic(res, st.w)
+						m.Regs[st.dst&15] = res & wmask[st.w&31]
+					case fsOrRR:
+						res := (m.Regs[st.dst&15] & wmask[st.w&31]) | (m.Regs[st.src&15] & wmask[st.w&31])
+						m.setFlagsLogic(res, st.w)
+						m.Regs[st.dst&15] = res & wmask[st.w&31]
+					case fsOrRI:
+						res := (m.Regs[st.dst&15] & wmask[st.w&31]) | (uint64(st.imm) & wmask[st.w&31])
+						m.setFlagsLogic(res, st.w)
+						m.Regs[st.dst&15] = res & wmask[st.w&31]
+					case fsXorRR:
+						res := (m.Regs[st.dst&15] & wmask[st.w&31]) ^ (m.Regs[st.src&15] & wmask[st.w&31])
+						m.setFlagsLogic(res, st.w)
+						m.Regs[st.dst&15] = res & wmask[st.w&31]
+					case fsXorRI:
+						res := (m.Regs[st.dst&15] & wmask[st.w&31]) ^ (uint64(st.imm) & wmask[st.w&31])
+						m.setFlagsLogic(res, st.w)
+						m.Regs[st.dst&15] = res & wmask[st.w&31]
+					case fsMulRR:
+						res := (m.Regs[st.dst&15] & wmask[st.w&31]) * (m.Regs[st.src&15] & wmask[st.w&31])
+						m.Regs[st.dst&15] = res & wmask[st.w&31]
+					case fsMulRI:
+						res := (m.Regs[st.dst&15] & wmask[st.w&31]) * (uint64(st.imm) & wmask[st.w&31])
+						m.Regs[st.dst&15] = res & wmask[st.w&31]
+
+					case fsShlRI:
+						a := m.Regs[st.dst&15] & wmask[st.w&31]
+						c := uint(uint64(st.imm)&0xFF) & (widthBits(st.w) - 1)
+						res := maskW(a<<c, st.w)
+						m.zf = res == 0
+						m.sf = signBit(res, st.w)
+						m.Regs[st.dst&15] = res & wmask[st.w&31]
+					case fsShrRI:
+						a := m.Regs[st.dst&15] & wmask[st.w&31]
+						c := uint(uint64(st.imm)&0xFF) & (widthBits(st.w) - 1)
+						res := maskW(a>>c, st.w)
+						m.zf = res == 0
+						m.sf = signBit(res, st.w)
+						m.Regs[st.dst&15] = res & wmask[st.w&31]
+					case fsSarRI:
+						a := m.Regs[st.dst&15] & wmask[st.w&31]
+						c := uint(uint64(st.imm)&0xFF) & (widthBits(st.w) - 1)
+						res := maskW(uint64(int64(signExtend(a, st.w))>>c), st.w)
+						m.zf = res == 0
+						m.sf = signBit(res, st.w)
+						m.Regs[st.dst&15] = res & wmask[st.w&31]
+					case fsShift:
+						a := m.Regs[st.dst&15] & wmask[st.w&31]
+						var cnt uint64
+						if st.src != dRegNone {
+							cnt = m.Regs[st.src&15] & 0xFF
+						} else {
+							cnt = uint64(st.imm) & 0xFF
+						}
+						bitsN := widthBits(st.w)
+						c := uint(cnt) & (bitsN - 1)
+						var res uint64
+						switch st.op {
+						case x86.SHL:
+							res = a << c
+						case x86.SHR:
+							res = a >> c
+						case x86.SAR:
+							res = uint64(int64(signExtend(a, st.w)) >> c)
+						case x86.ROL:
+							res = a<<c | a>>(bitsN-c)
+						default: // ROR
+							res = a>>c | a<<(bitsN-c)
+						}
+						res = maskW(res, st.w)
+						m.zf = res == 0
+						m.sf = signBit(res, st.w)
+						m.Regs[st.dst&15] = res & wmask[st.w&31]
+
+					case fsCmp:
+						a := m.Regs[st.dst&15] & wmask[st.w&31]
+						b := m.Regs[st.src&15] & wmask[st.w&31]
+						m.setFlagsSub(a, b, a-b, st.w)
+					case fsCmpI:
+						a := m.Regs[st.dst&15] & wmask[st.w&31]
+						b := uint64(st.imm) & wmask[st.w&31]
+						m.setFlagsSub(a, b, a-b, st.w)
+					case fsCmpM:
+						fr.pc = pc + i
+						a := m.Regs[st.dst&15] & wmask[st.w&31]
+						b, err := m.loadFast(m.eaD(st.mem), int(st.w))
+						if err != nil {
+							return err
+						}
+						m.setFlagsSub(a, b, a-b, st.w)
+					case fsTest:
+						a := m.Regs[st.dst&15] & wmask[st.w&31]
+						b := m.Regs[st.src&15] & wmask[st.w&31]
+						m.setFlagsLogic(a&b, st.w)
+					case fsTestI:
+						a := m.Regs[st.dst&15] & wmask[st.w&31]
+						b := uint64(st.imm) & wmask[st.w&31]
+						m.setFlagsLogic(a&b, st.w)
+
+					case fsSetcc:
+						v := uint64(0)
+						if m.cond(st.cond) {
+							v = 1
+						}
+						m.Regs[st.dst&15] = v
+					case fsCmov:
+						v := m.Regs[st.src&15] & wmask[st.w&31]
+						if m.cond(st.cond) {
+							m.Regs[st.dst&15] = v
+						}
+
+					case fsLoad:
+						fr.pc = pc + i
+						v, err := m.loadFast(m.eaD(st.mem), int(st.w))
+						if err != nil {
+							return err
+						}
+						m.Regs[st.dst&15] = v & wmask[st.w&31]
+					case fsLoadZX:
+						fr.pc = pc + i
+						v, err := m.loadFast(m.eaD(st.mem), int(st.srcW))
+						if err != nil {
+							return err
+						}
+						m.Regs[st.dst&15] = v & wmask[st.w&31]
+					case fsLoadSX:
+						fr.pc = pc + i
+						v, err := m.loadFast(m.eaD(st.mem), int(st.srcW))
+						if err != nil {
+							return err
+						}
+						m.Regs[st.dst&15] = signExtend(v, st.srcW) & wmask[st.w&31]
+					case fsStoreR:
+						fr.pc = pc + i
+						v := m.Regs[st.src&15] & wmask[st.w&31]
+						if err := m.storeFast(m.eaD(st.mem), int(st.w), v); err != nil {
+							return err
+						}
+					case fsStoreI:
+						fr.pc = pc + i
+						v := uint64(st.imm) & wmask[st.w&31]
+						if err := m.storeFast(m.eaD(st.mem), int(st.w), v); err != nil {
+							return err
+						}
+
+					case fsFMovXX:
+						m.XmmLo[st.dst] = m.XmmLo[st.src]
+					case fsFLoad:
+						fr.pc = pc + i
+						v, err := m.loadFast(m.eaD(st.mem), 8)
+						if err != nil {
+							return err
+						}
+						m.XmmLo[st.dst] = v
+					case fsFStore:
+						fr.pc = pc + i
+						if err := m.storeFast(m.eaD(st.mem), 8, m.XmmLo[st.src]); err != nil {
+							return err
+						}
+					case fsFAdd:
+						a := math.Float64frombits(m.XmmLo[st.dst])
+						b := math.Float64frombits(m.XmmLo[st.src])
+						m.XmmLo[st.dst] = math.Float64bits(a + b)
+					case fsFSub:
+						a := math.Float64frombits(m.XmmLo[st.dst])
+						b := math.Float64frombits(m.XmmLo[st.src])
+						m.XmmLo[st.dst] = math.Float64bits(a - b)
+					case fsFMul:
+						a := math.Float64frombits(m.XmmLo[st.dst])
+						b := math.Float64frombits(m.XmmLo[st.src])
+						m.XmmLo[st.dst] = math.Float64bits(a * b)
+					case fsFDiv:
+						a := math.Float64frombits(m.XmmLo[st.dst])
+						b := math.Float64frombits(m.XmmLo[st.src])
+						m.XmmLo[st.dst] = math.Float64bits(a / b)
+					case fsFMin:
+						a := math.Float64frombits(m.XmmLo[st.dst])
+						b := math.Float64frombits(m.XmmLo[st.src])
+						m.XmmLo[st.dst] = math.Float64bits(math.Min(a, b))
+					case fsFMax:
+						a := math.Float64frombits(m.XmmLo[st.dst])
+						b := math.Float64frombits(m.XmmLo[st.src])
+						m.XmmLo[st.dst] = math.Float64bits(math.Max(a, b))
+
+					case fsVMovXX:
+						m.XmmLo[st.dst] = m.XmmLo[st.src]
+						m.XmmHi[st.dst] = m.XmmHi[st.src]
+					case fsVLoad:
+						fr.pc = pc + i
+						addr := m.eaD(st.mem)
+						lo, err := m.loadFast(addr, 8)
+						if err != nil {
+							return err
+						}
+						hi, err := m.loadFast(addr+8, 8)
+						if err != nil {
+							return err
+						}
+						m.XmmLo[st.dst] = lo
+						m.XmmHi[st.dst] = hi
+					case fsVStore:
+						fr.pc = pc + i
+						addr := m.eaD(st.mem)
+						if err := m.storeFast(addr, 8, m.XmmLo[st.src]); err != nil {
+							return err
+						}
+						if err := m.storeFast(addr+8, 8, m.XmmHi[st.src]); err != nil {
+							return err
+						}
+
+					case fsTrapif:
+						if m.cond(st.cond) {
+							fr.pc = pc + i
+							return m.trap(TrapBounds, 0)
+						}
+					case fsJcc:
+						taken := m.cond(st.cond)
+						m.predictBranch(fr.fn, pc+i, taken)
+						if taken {
+							next = int(st.target)
+						}
+					case fsJmp:
+						next = int(st.target)
+					}
+				}
+
 			case x86.NOP:
 
 			case x86.MOV:
-				// Register operands are open-coded in the hot integer cases:
-				// readOpD/writeOpD are one call too large for the inliner, and
-				// this dispatch path is where the emulator spends its time.
-				// The &15/&31 index masks are no-ops for valid operands and
-				// let the compiler drop the bounds checks.
 				var v uint64
 				if in.src.kind == dReg {
 					v = m.Regs[in.src.reg&15] & wmask[in.w&31]
@@ -719,11 +732,11 @@ frames:
 				m.Regs[x86.RAX] = uint64(m.PKRU)
 
 			case x86.MOVSD:
-				if err := m.execMOVSDD(in); err != nil {
+				if err := m.execMOVSDD(&in.dinst); err != nil {
 					return err
 				}
 			case x86.ADDSD, x86.SUBSD, x86.MULSD, x86.DIVSD, x86.MINSD, x86.MAXSD:
-				if err := m.execFBinD(in); err != nil {
+				if err := m.execFBinD(&in.dinst); err != nil {
 					return err
 				}
 			case x86.NEGSD:
@@ -806,7 +819,7 @@ frames:
 				m.XmmLo[in.dst.reg] = m.Regs[in.src.reg]
 
 			case x86.MOVDQU:
-				if err := m.execMOVDQUD(in); err != nil {
+				if err := m.execMOVDQUD(&in.dinst); err != nil {
 					return err
 				}
 			case x86.PADDD:
@@ -824,77 +837,5 @@ frames:
 			fr.pc = next
 		}
 	}
-	return nil
-}
-
-func (m *Machine) execMOVSDD(in *dinst) error {
-	if in.dst.kind == dMem {
-		return m.storeFast(m.eaD(&in.dst), 8, m.XmmLo[in.src.reg])
-	}
-	switch in.src.kind {
-	case dXmm:
-		m.XmmLo[in.dst.reg] = m.XmmLo[in.src.reg]
-		return nil
-	case dMem:
-		v, err := m.loadFast(m.eaD(&in.src), 8)
-		if err != nil {
-			return err
-		}
-		m.XmmLo[in.dst.reg] = v
-		return nil
-	default:
-		return fmt.Errorf("cpu: bad movsd operands")
-	}
-}
-
-func (m *Machine) execFBinD(in *dinst) error {
-	a := math.Float64frombits(m.XmmLo[in.dst.reg])
-	b, err := m.readFD(&in.src)
-	if err != nil {
-		return err
-	}
-	var r float64
-	switch in.op {
-	case x86.ADDSD:
-		r = a + b
-	case x86.SUBSD:
-		r = a - b
-	case x86.MULSD:
-		r = a * b
-	case x86.DIVSD:
-		r = a / b
-	case x86.MINSD:
-		r = math.Min(a, b)
-	case x86.MAXSD:
-		r = math.Max(a, b)
-	}
-	m.XmmLo[in.dst.reg] = math.Float64bits(r)
-	return nil
-}
-
-func (m *Machine) execMOVDQUD(in *dinst) error {
-	if in.dst.kind == dMem {
-		addr := m.eaD(&in.dst)
-		if err := m.storeFast(addr, 8, m.XmmLo[in.src.reg]); err != nil {
-			return err
-		}
-		return m.storeFast(addr+8, 8, m.XmmHi[in.src.reg])
-	}
-	if in.src.kind == dMem {
-		addr := m.eaD(&in.src)
-		lo, err := m.loadFast(addr, 8)
-		if err != nil {
-			return err
-		}
-		hi, err := m.loadFast(addr+8, 8)
-		if err != nil {
-			return err
-		}
-		m.XmmLo[in.dst.reg] = lo
-		m.XmmHi[in.dst.reg] = hi
-		return nil
-	}
-	m.XmmLo[in.dst.reg] = m.XmmLo[in.src.reg]
-	m.XmmHi[in.dst.reg] = m.XmmHi[in.src.reg]
 	return nil
 }

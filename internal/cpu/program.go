@@ -9,6 +9,7 @@ package cpu
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/x86"
 )
@@ -69,6 +70,30 @@ type Program struct {
 	// Machines executing this Program.
 	decOnce sync.Once
 	dec     []decFunc
+
+	// Fused tier state (fuse.go/profile.go). The fused stream is built
+	// at most once per Program — from merged per-machine profiles or
+	// eagerly — and published through fusedP, so a module fused once
+	// serves every subsequent Machine (the module cache in internal/rt
+	// shares Programs across instances for exactly this amortization).
+	fuseMu     sync.Mutex
+	profAgg    [][]uint32 // merged per-pc execution counts (under fuseMu)
+	profTotal  uint64     // total profiled instructions (under fuseMu)
+	fusedP     atomic.Pointer[fusedProg]
+	fuseBuilds atomic.Uint32
+}
+
+// FuseBuilds returns how many times the fused stream was compiled for
+// this Program — at most 1 by construction; tests assert on it.
+func (p *Program) FuseBuilds() uint32 { return p.fuseBuilds.Load() }
+
+// FusedBlocks returns the number of superinstruction groups in the
+// fused stream, or 0 if fusion has not run yet.
+func (p *Program) FusedBlocks() int {
+	if fp := p.fusedP.Load(); fp != nil {
+		return fp.blocks
+	}
+	return 0
 }
 
 // FuncByName returns the index of the named function, or -1.

@@ -128,7 +128,7 @@ func (inst *Instance) bulkCost(mach *cpu.Machine, addrs []uint64, n uint64) {
 	mach.Stats.Cycles += 2 + float64(n)/16
 	for _, a := range addrs {
 		for off := uint64(0); off < n; off += 64 {
-			switch mach.Hier.L1D.Access(inst.HeapBase + a + off) {
+			switch mach.Hier.AccessL1(inst.HeapBase + a + off) {
 			case 1:
 				mach.Stats.Cycles += mach.Cost.L2Hit
 			case 2:

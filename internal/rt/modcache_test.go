@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/cpu"
 	"repro/internal/ir"
 	"repro/internal/sfi"
 )
@@ -113,10 +114,14 @@ func TestCompileModuleCachedConcurrent(t *testing.T) {
 }
 
 // TestFastSlowDifferentialRT runs generated programs through full
-// compile+instantiate under several modes, executing each twice — once
-// on the predecoded fast path and once with the slow-path oracle — and
-// asserts checksums, Stats, and linear memory are bit-identical.
+// compile+instantiate under several modes, executing each once per
+// tier — the slow-path oracle, the predecoded fast path, and the fused
+// superinstruction tier (eager, so short programs hit the fused
+// stream) — and asserts checksums, Stats, and linear memory are
+// bit-identical.
 func TestFastSlowDifferentialRT(t *testing.T) {
+	cpu.SetFuseEager(true)
+	defer cpu.SetFuseEager(false)
 	seeds := 40
 	if testing.Short() {
 		seeds = 10
@@ -129,40 +134,126 @@ func TestFastSlowDifferentialRT(t *testing.T) {
 			if err != nil {
 				t.Fatalf("seed %d mode %v: %v", s, mode, err)
 			}
-			run := func(slow bool) (*Instance, []uint64, error) {
+			run := func(tier cpu.Tier) (*Instance, []uint64, error) {
 				inst, err := NewInstance(mod, InstanceOptions{FSGSBASE: true})
 				if err != nil {
 					t.Fatalf("seed %d mode %v: %v", s, mode, err)
 				}
-				inst.Mach.SlowPath = slow
+				inst.Mach.Tier = tier
 				res, err := inst.Invoke("run", uint64(s))
 				return inst, res, err
 			}
-			fi, fres, ferr := run(false)
-			si, sres, serr := run(true)
-			if (ferr == nil) != (serr == nil) {
-				t.Fatalf("seed %d mode %v: error mismatch fast=%v slow=%v", s, mode, ferr, serr)
-			}
-			if ferr != nil {
-				continue
-			}
-			if fres[0] != sres[0] {
-				t.Fatalf("seed %d mode %v: checksum fast %#x slow %#x", s, mode, fres[0], sres[0])
-			}
-			if fi.Mach.Stats != si.Mach.Stats {
-				t.Fatalf("seed %d mode %v: stats mismatch\nfast %+v\nslow %+v",
-					s, mode, fi.Mach.Stats, si.Mach.Stats)
-			}
-			fbuf := make([]byte, 1<<16)
-			sbuf := make([]byte, 1<<16)
-			fi.AS.ReadBytes(fi.HeapBase, fbuf)
-			si.AS.ReadBytes(si.HeapBase, sbuf)
-			for i := range fbuf {
-				if fbuf[i] != sbuf[i] {
-					t.Fatalf("seed %d mode %v: memory[%d] fast %#x slow %#x",
-						s, mode, i, fbuf[i], sbuf[i])
+			si, sres, serr := run(cpu.TierSlow)
+			for _, tier := range []cpu.Tier{cpu.TierFast, cpu.TierFused} {
+				fi, fres, ferr := run(tier)
+				if (ferr == nil) != (serr == nil) {
+					t.Fatalf("seed %d mode %v: error mismatch %v=%v slow=%v", s, mode, tier, ferr, serr)
+				}
+				if serr != nil {
+					continue
+				}
+				if fres[0] != sres[0] {
+					t.Fatalf("seed %d mode %v: checksum %v %#x slow %#x", s, mode, tier, fres[0], sres[0])
+				}
+				if fi.Mach.Stats != si.Mach.Stats {
+					t.Fatalf("seed %d mode %v: %v stats mismatch\n%v %+v\nslow %+v",
+						s, mode, tier, tier, fi.Mach.Stats, si.Mach.Stats)
+				}
+				fbuf := make([]byte, 1<<16)
+				sbuf := make([]byte, 1<<16)
+				fi.AS.ReadBytes(fi.HeapBase, fbuf)
+				si.AS.ReadBytes(si.HeapBase, sbuf)
+				for i := range fbuf {
+					if fbuf[i] != sbuf[i] {
+						t.Fatalf("seed %d mode %v: %v memory[%d] %#x slow %#x",
+							s, mode, tier, i, fbuf[i], sbuf[i])
+					}
 				}
 			}
 		}
+	}
+}
+
+// TestFusedBuildOnceAcrossInstances spins up many instances of one
+// shared module concurrently, all on the fused tier, and checks the
+// superinstruction stream was compiled exactly once for the Program —
+// the cross-instance amortization the module cache exists for.
+func TestFusedBuildOnceAcrossInstances(t *testing.T) {
+	ResetModuleCache()
+	defer ResetModuleCache()
+	cpu.SetFuseEager(true)
+	defer cpu.SetFuseEager(false)
+
+	key := ModuleKey{Name: "fuzz13", Cfg: sfi.DefaultConfig(sfi.ModeSegue)}
+	mod, err := CompileModuleCached(key, func() *ir.Module { return genModule(13) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	results := make([]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			inst, err := NewInstance(mod, InstanceOptions{FSGSBASE: true})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			inst.Mach.Tier = cpu.TierFused
+			res, err := inst.Invoke("run", 13)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[w] = res[0]
+		}(w)
+	}
+	wg.Wait()
+	if n := mod.Prog.FuseBuilds(); n != 1 {
+		t.Fatalf("fused stream built %d times, want 1", n)
+	}
+	for w := 1; w < workers; w++ {
+		if results[w] != results[0] {
+			t.Fatal("workers disagree on checksum")
+		}
+	}
+}
+
+// TestFusedProfileBuildOnceConcurrent exercises the profile-guided
+// path under contention: many fused-tier machines run concurrently
+// with a tiny warmup budget, their profiles merge into the shared
+// Program, and the build must still happen exactly once.
+func TestFusedProfileBuildOnceConcurrent(t *testing.T) {
+	defer cpu.SetFuseWarmup(500, 1)()
+
+	mod, err := CompileModule(genModule(17), sfi.DefaultConfig(sfi.ModeSegue))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			inst, err := NewInstance(mod, InstanceOptions{FSGSBASE: true})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			inst.Mach.Tier = cpu.TierFused
+			for i := 0; i < 4; i++ {
+				if _, err := inst.Invoke("run", uint64(17+i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := mod.Prog.FuseBuilds(); n > 1 {
+		t.Fatalf("fused stream built %d times, want at most 1", n)
 	}
 }

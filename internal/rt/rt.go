@@ -33,6 +33,15 @@ var transCounters = func() map[isolation.Kind]*telemetry.Counter {
 	return m
 }()
 
+// Per-tier instance counters (rt.tier.<tier>): how many instances were
+// created on each execution tier, so a -metrics snapshot shows the tier
+// mix alongside cpu.dispatch.*.
+var tierCounters = [...]*telemetry.Counter{
+	cpu.TierSlow:  telemetry.Default.Counter("rt.tier.slow"),
+	cpu.TierFast:  telemetry.Default.Counter("rt.tier.fast"),
+	cpu.TierFused: telemetry.Default.Counter("rt.tier.fused"),
+}
+
 // Module is a compiled module ready for instantiation.
 type Module struct {
 	IR   *ir.Module
@@ -237,6 +246,11 @@ func NewInstance(mod *Module, opts InstanceOptions) (*Instance, error) {
 	}
 
 	inst.Mach = cpu.NewMachine(inst.AS, mod.Prog)
+	if telemetry.Enabled() {
+		if t := int(inst.Mach.Tier); t < len(tierCounters) {
+			tierCounters[t].Inc()
+		}
+	}
 	inst.bindHosts()
 	return inst, nil
 }

@@ -10,8 +10,13 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cpu"
 	"repro/internal/fault"
+	"repro/internal/ir"
+	"repro/internal/rt"
+	"repro/internal/sfi"
 	"repro/internal/telemetry"
+	"repro/internal/workloads"
 )
 
 // get issues one GET and returns the status plus decoded JSON body.
@@ -273,5 +278,64 @@ func TestServeDrain(t *testing.T) {
 	}
 	if err := s.Close(); err != nil {
 		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestFusedSharedAcrossShards drives one kernel through every shard of
+// the worker pool on the fused tier and checks that all shards served
+// from a single superinstruction compilation: the module cache hands
+// every worker the same Program, so the fused stream is built once for
+// the process, not once per shard or per worker.
+func TestFusedSharedAcrossShards(t *testing.T) {
+	rt.ResetModuleCache()
+	defer rt.ResetModuleCache()
+	cpu.SetFuseEager(true)
+	defer cpu.SetFuseEager(false)
+
+	s, err := New(Config{Shards: 4, WorkersPerShard: 2, Registry: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Enough concurrent requests that the round-robin deal reaches
+	// every shard.
+	const kernel = "hash-load-balance"
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, body := get(t, ts.URL+"/invoke/"+kernel+"?backend=guardpage&n=16")
+			if code != http.StatusOK {
+				t.Errorf("invoke: status %d (%v)", code, body)
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Fetch the module the workers used straight from the shared cache.
+	// The build callback must not run — running would mean the workers
+	// had not shared one cache entry.
+	built := false
+	mod, err := rt.CompileModuleCached(
+		rt.ModuleKey{Name: kernel, Cfg: sfi.DefaultConfig(sfi.ModeSegue)},
+		func() *ir.Module {
+			built = true
+			return workloads.FaaS().Kernels[0].Build(false)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built {
+		t.Fatal("kernel module was not in the shared cache")
+	}
+	if n := mod.Prog.FuseBuilds(); n != 1 {
+		t.Fatalf("fused stream built %d times across shards, want 1", n)
 	}
 }

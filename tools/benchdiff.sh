@@ -1,0 +1,38 @@
+#!/bin/sh
+# benchdiff.sh — wall-time deltas between the last two records of the
+# perf trajectory (BENCH_history.jsonl, appended by `make results`).
+#
+# Usage: sh tools/benchdiff.sh [history-file]
+set -eu
+
+hist="${1:-BENCH_history.jsonl}"
+if [ ! -f "$hist" ]; then
+    echo "benchdiff: $hist not found (run \`make results\` first)" >&2
+    exit 1
+fi
+lines=$(wc -l < "$hist")
+if [ "$lines" -lt 2 ]; then
+    echo "benchdiff: only $lines record(s) in $hist; need two to diff" >&2
+    exit 1
+fi
+
+tail -n 2 "$hist" | python3 -c '
+import json, sys
+
+prev, cur = (json.loads(l) for l in sys.stdin if l.strip())
+old = {r["id"]: r for r in prev["results"]}
+print("benchdiff: %s (%s)  ->  %s (%s)"
+      % (prev["time"], prev["tier"], cur["time"], cur["tier"]))
+print("%-12s %9s %9s %8s" % ("experiment", "before s", "after s", "delta"))
+for r in cur["results"]:
+    b = old.get(r["id"])
+    if b is None or not b["wall_seconds"]:
+        print("%-12s %9s %9.2f %8s" % (r["id"], "-", r["wall_seconds"], "new"))
+        continue
+    ratio = b["wall_seconds"] / r["wall_seconds"] if r["wall_seconds"] else 0.0
+    print("%-12s %9.2f %9.2f %7.2fx"
+          % (r["id"], b["wall_seconds"], r["wall_seconds"], ratio))
+for rid in old:
+    if all(r["id"] != rid for r in cur["results"]):
+        print("%-12s %9.2f %9s %8s" % (rid, old[rid]["wall_seconds"], "-", "gone"))
+'

@@ -39,12 +39,16 @@ ids=$(go run ./cmd/benchtab -list)
 for id in transition scaling faultsweep backend-matrix; do
     echo "$ids" | grep -q "^$id " || err "experiment id $id (documented) not in benchtab -list"
 done
+flags=$(go run ./cmd/benchtab -help 2>&1 || true)
+for f in tier history compare results metrics trace pprof j; do
+    echo "$flags" | grep -q -- "-$f" || err "benchtab flag -$f (documented) missing"
+done
 flags=$(go run ./cmd/faassim -help 2>&1 || true)
 for f in faultrate faultseed timeout retries shed backend coldstart latency; do
     echo "$flags" | grep -q -- "-$f" || err "faassim flag -$f (documented) missing"
 done
 flags=$(go run ./cmd/faasd -help 2>&1 || true)
-for f in addr addrfile kernels backend shards workers queue maxinflight slots timeout breakerfails; do
+for f in addr addrfile kernels backend shards workers queue maxinflight slots timeout breakerfails tier; do
     echo "$flags" | grep -q -- "-$f" || err "faasd flag -$f (documented) missing"
 done
 flags=$(go run ./cmd/faasload -help 2>&1 || true)
@@ -61,6 +65,8 @@ smoke() {
 }
 smoke "benchtab faultsweep"   go run ./cmd/benchtab -o /dev/null faultsweep
 smoke "benchtab transition"   go run ./cmd/benchtab -o /dev/null transition
+smoke "benchtab tier slow"    go run ./cmd/benchtab -tier slow -o /dev/null transition
+smoke "benchtab tier fast"    go run ./cmd/benchtab -tier fast -o /dev/null transition
 smoke "sfic"                  go run ./cmd/sfic
 smoke "faassim (clean)"       go run ./cmd/faassim -handler regex-filtering -procs 2 -seconds 0.2
 smoke "faassim (faults)"      go run ./cmd/faassim -handler regex-filtering -procs 2 -seconds 0.2 \
