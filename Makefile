@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet ci docscheck bench-smoke bench results benchdiff fuse-bench serve-smoke serve-bench
+.PHONY: build test race vet ci docscheck bench-smoke bench results benchdiff benchgate fuse-bench serve-smoke serve-bench
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,7 @@ ci:
 	$(GO) test -race ./...
 	sh tools/servesmoke.sh
 	$(MAKE) fuse-bench
+	-$(MAKE) benchgate
 
 # Documentation gate: package comments present, ARCHITECTURE.md linked
 # and complete, documented flags/ids exist, documented commands run in
@@ -52,6 +53,14 @@ results:
 # Wall-time deltas between the last two `make results` records.
 benchdiff:
 	sh tools/benchdiff.sh
+
+# Regression gate over the same trajectory: fail if any experiment in
+# the latest record is >10% slower than in the previous one. Advisory in
+# `make ci` (leading dash): wall times are noisy on shared machines, so
+# a trip should start an investigation, not block a merge. Needs two
+# records in BENCH_history.jsonl; exits 1 (gating) otherwise.
+benchgate:
+	sh tools/benchdiff.sh -gate 10
 
 # Fused-tier smoke: the superinstruction tier must not be slower than
 # the predecoded tier on a real kernel (1.2x guard band for CI noise).

@@ -10,10 +10,11 @@
 //	faasd -addr 127.0.0.1:0 -addrfile /tmp/faasd.addr
 //	faasd -shards 4 -workers 2 -queue 128 -timeout 250ms
 //	faasd -backend multiproc -kernels regex-filtering
+//	faasd -scheme zerocost             # default transition scheme
 //
 // Endpoints:
 //
-//	POST/GET /invoke/<kernel>?n=<batch>&backend=<kind>
+//	POST/GET /invoke/<kernel>?n=<batch>&backend=<kind>&scheme=<scheme>
 //	GET      /healthz   — ok, or 503 once draining
 //	GET      /metrics   — telemetry registry snapshot (JSON)
 //
@@ -48,6 +49,7 @@ func main() {
 	addrFile := flag.String("addrfile", "", "write the bound address to this file once listening")
 	kernels := flag.String("kernels", "", "comma-separated kernels to serve (default: all FaaS kernels)")
 	backend := flag.String("backend", "", "default isolation backend when a request names none (default colorguard)")
+	scheme := flag.String("scheme", "", "default transition scheme when a request names none (default, zerocost, onestack, trampoline)")
 	shards := flag.Int("shards", 0, "dispatcher shards (default: min(NumCPU, 8))")
 	workers := flag.Int("workers", 0, "worker goroutines per shard (default 1)")
 	queue := flag.Int("queue", 0, "bounded queue depth per shard (default 64)")
@@ -67,6 +69,12 @@ func main() {
 	}
 	cpu.SetDefaultTier(tier)
 
+	sch, err := isolation.ParseScheme(*scheme)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faasd: -scheme %s: %v\n", *scheme, err)
+		os.Exit(2)
+	}
+
 	if err := validate(*shards, *workers, *queue, *maxInFlight, *slots, *timeout, *breakerFails, *breakerOpen, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "faasd:", err)
 		os.Exit(2)
@@ -75,6 +83,7 @@ func main() {
 	telemetry.SetEnabled(true)
 	cfg := server.Config{
 		DefaultBackend:  isolation.Kind(*backend),
+		DefaultScheme:   sch,
 		Shards:          *shards,
 		WorkersPerShard: *workers,
 		QueueDepth:      *queue,

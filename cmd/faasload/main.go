@@ -34,6 +34,11 @@ import (
 )
 
 // stepResult is one load step's outcome, JSON-shaped for SERVE_results.
+// The wall percentiles measure the serving machinery on this host; the
+// sim percentiles measure the emulated execution (what the kernel cost
+// on the modeled machine, including its isolation transitions), so a
+// cheaper transition scheme shows up in sim_p50 even when wall time is
+// noise-bound.
 type stepResult struct {
 	TargetRPS     int     `json:"target_rps"`
 	Offered       int     `json:"offered"`
@@ -44,12 +49,16 @@ type stepResult struct {
 	P50Ms         float64 `json:"p50_ms"`
 	P95Ms         float64 `json:"p95_ms"`
 	P99Ms         float64 `json:"p99_ms"`
+	SimP50Us      float64 `json:"sim_p50_us"`
+	SimP95Us      float64 `json:"sim_p95_us"`
+	SimP99Us      float64 `json:"sim_p99_us"`
 }
 
 func main() {
 	url := flag.String("url", "", "base URL of a running faasd (required)")
 	kernel := flag.String("kernel", "regex-filtering", "kernel to invoke")
 	backend := flag.String("backend", "", "isolation backend to request (empty = server default)")
+	scheme := flag.String("scheme", "", "transition scheme to request (empty = server default)")
 	batch := flag.Int("n", 0, "batch size per request (0 = server default)")
 	rps := flag.Int("rps", 200, "open-loop arrival rate, requests per second")
 	seconds := flag.Float64("seconds", 2, "duration of each load step")
@@ -72,6 +81,10 @@ func main() {
 		path += sep + "backend=" + *backend
 		sep = "&"
 	}
+	if *scheme != "" {
+		path += sep + "scheme=" + *scheme
+		sep = "&"
+	}
 	if *batch > 0 {
 		path += sep + "n=" + strconv.Itoa(*batch)
 	}
@@ -89,9 +102,10 @@ func main() {
 
 	failed := false
 	for _, st := range steps {
-		fmt.Printf("rps=%-5d offered %-5d ok %-5d shed %-4d errors %-4d throughput %.1f rps  p50 %.2fms p95 %.2fms p99 %.2fms\n",
+		fmt.Printf("rps=%-5d offered %-5d ok %-5d shed %-4d errors %-4d throughput %.1f rps  p50 %.2fms p95 %.2fms p99 %.2fms  sim p50 %.2fus p95 %.2fus p99 %.2fus\n",
 			st.TargetRPS, st.Offered, st.OK, st.Shed, st.Errors,
-			st.ThroughputRPS, st.P50Ms, st.P95Ms, st.P99Ms)
+			st.ThroughputRPS, st.P50Ms, st.P95Ms, st.P99Ms,
+			st.SimP50Us, st.SimP95Us, st.SimP99Us)
 		if st.Errors > 0 || st.OK == 0 || ((*smoke || *strict) && st.Shed > 0) {
 			failed = true
 		}
@@ -148,10 +162,11 @@ func validate(url, kernel string, batch, rps int, seconds float64, ramp string, 
 type collector struct {
 	mu               sync.Mutex
 	latencies        []float64 // wall ms, successful requests only
+	simLatencies     []float64 // simulated µs from the response body
 	ok, shed, errors int
 }
 
-func (c *collector) record(status int, err error, d time.Duration) {
+func (c *collector) record(status int, err error, d time.Duration, simUs float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	switch {
@@ -160,6 +175,9 @@ func (c *collector) record(status int, err error, d time.Duration) {
 	case status == http.StatusOK:
 		c.ok++
 		c.latencies = append(c.latencies, float64(d)/1e6)
+		if simUs > 0 {
+			c.simLatencies = append(c.simLatencies, simUs)
+		}
 	case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable || status == http.StatusGatewayTimeout:
 		c.shed++
 	default:
@@ -180,6 +198,9 @@ func (c *collector) result(targetRPS, offered int, elapsed time.Duration) stepRe
 		P50Ms:         stats.Percentile(c.latencies, 50),
 		P95Ms:         stats.Percentile(c.latencies, 95),
 		P99Ms:         stats.Percentile(c.latencies, 99),
+		SimP50Us:      stats.Percentile(c.simLatencies, 50),
+		SimP95Us:      stats.Percentile(c.simLatencies, 95),
+		SimP99Us:      stats.Percentile(c.simLatencies, 99),
 	}
 }
 
@@ -188,12 +209,18 @@ func fire(client *http.Client, target string, c *collector, wg *sync.WaitGroup) 
 	start := time.Now()
 	resp, err := client.Get(target)
 	status := 0
+	var simUs float64
 	if err == nil {
+		var body struct {
+			SimUs float64 `json:"sim_us"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&body)
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 		status = resp.StatusCode
+		simUs = body.SimUs
 	}
-	c.record(status, err, time.Since(start))
+	c.record(status, err, time.Since(start), simUs)
 }
 
 // openLoop launches requests on a fixed schedule for the step duration

@@ -8,6 +8,7 @@
 //	faassim -procs 8 -handler regex-filtering
 //	faassim -compute 50000 -pages 64 -arrivals 60
 //	faassim -backend mte -coldstart  # §7: per-request lifecycle costs
+//	faassim -scheme zerocost         # near-zero-cost transitions
 //	faassim -faultrate 0.05 -retries 4 -timeout 100 -shed 512
 //
 // The last form arms deterministic fault injection (internal/fault):
@@ -40,6 +41,7 @@ func main() {
 	arrivals := flag.Int("arrivals", 40, "request arrivals per 1 ms epoch")
 	duration := flag.Float64("seconds", 2, "simulated seconds")
 	backend := flag.String("backend", "", "isolation backend replacing the default colorguard side (guardpage, colorguard, mte, multiproc)")
+	scheme := flag.String("scheme", "", "transition scheme for both sides (default, zerocost, onestack, trampoline)")
 	coldStart := flag.Bool("coldstart", false, "fresh instance per request: charge the backend's init/teardown costs (§7)")
 	instanceKB := flag.Uint64("instancekb", 64, "linear-memory KiB the cold-start lifecycle costs are charged on")
 	preserveTags := flag.Bool("preservetags", false, "model the tag-preserving madvise (mte backend only)")
@@ -64,6 +66,11 @@ func main() {
 	kind := isolation.ColorGuard
 	if *backend != "" {
 		kind = isolation.Kind(*backend)
+	}
+	sch, err := isolation.ParseScheme(*scheme)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faassim: -scheme %s: %v\n", *scheme, err)
+		os.Exit(2)
 	}
 
 	// Any armed knob turns the fault machinery on for both sides of the
@@ -113,8 +120,8 @@ func main() {
 			ns = []int{*procs}
 		}
 		for _, n := range ns {
-			cgCfg := faas.KindConfig(w, kind, 1)
-			mpCfg := faas.KindConfig(w, isolation.MultiProc, n)
+			cgCfg := faas.SchemeConfig(w, kind, sch, 1)
+			mpCfg := faas.SchemeConfig(w, isolation.MultiProc, sch, n)
 			if kind == isolation.MTE {
 				cgCfg.Lifecycle = isolation.LifecycleFor(kind, *preserveTags)
 			}

@@ -44,6 +44,7 @@ func checkGolden(t *testing.T, id string) {
 func TestGoldenTables(t *testing.T) {
 	for _, id := range []string{
 		"transition",
+		"transitions",
 		"scaling",
 		"mte",
 		"fig6",

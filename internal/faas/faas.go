@@ -62,10 +62,17 @@ type Config struct {
 
 	// Trans is the per-boundary-crossing cost model the simulation
 	// charges: enter+leave per request, switch+refill per process
-	// switch. The zero value derives the legacy model from the
-	// ColorGuard flag; KindConfig/BackendConfig fill it from an
-	// isolation backend, so §6.4.3 and §7 share one cost path.
+	// switch. The zero value derives the model from the ColorGuard
+	// flag and Scheme via the isolation layer (flagTrans);
+	// KindConfig/SchemeConfig/BackendConfig fill it from an isolation
+	// backend, so §6.4.3 and §7 share one cost path.
 	Trans isolation.TransitionCost
+
+	// Scheme is the transition calling-convention scheme behind Trans.
+	// It only participates in cost derivation when Trans is zero (the
+	// Config constructors resolve Trans eagerly); empty means the
+	// process default.
+	Scheme isolation.Scheme
 
 	// Lifecycle is the per-slot init/recycle cost model, charged per
 	// request when ColdStart is set.
@@ -124,15 +131,18 @@ func SetDefaultFaults(fc *fault.Config) {
 }
 
 // DefaultConfig returns the paper's simulation parameters around the
-// given workload, with the legacy flag-derived cost model: plain or
-// PKRU transitions per the colorGuard flag, and the standard
-// context-switch/cache-refill costs when processes contend.
+// given workload, with the flag-derived cost model: plain or PKRU
+// transitions per the colorGuard flag under the process-default
+// transition scheme, and the standard context-switch/cache-refill
+// costs when processes contend.
 func DefaultConfig(w Workload, processes int, colorGuard bool) Config {
+	scheme := isolation.ResolveScheme("")
 	return Config{
 		Workload:         w,
 		Processes:        processes,
 		ColorGuard:       colorGuard,
-		Trans:            legacyTrans(colorGuard),
+		Scheme:           scheme,
+		Trans:            flagTrans(scheme, colorGuard),
 		EpochNs:          1e6,
 		IODelayMeanNs:    5e6,
 		ArrivalsPerEpoch: 40,
@@ -141,39 +151,47 @@ func DefaultConfig(w Workload, processes int, colorGuard bool) Config {
 	}
 }
 
-// legacyTrans is the pre-backend cost derivation: the transition cost
-// follows the ColorGuard flag, and the process-switch terms are always
-// present (they are only ever charged when Processes > 1).
-func legacyTrans(colorGuard bool) isolation.TransitionCost {
-	t := isolation.TransitionCost{
-		EnterNs:  isolation.TransitionNs,
-		LeaveNs:  isolation.TransitionNs,
-		SwitchNs: isolation.CtxSwitchNs,
-		RefillNs: isolation.CacheRefillNs,
-		FlushTLB: true,
-	}
+// flagTrans derives the historical ColorGuard-flag cost model from the
+// scheme-composed isolation layer: the scheme's convention cost under
+// the backend kind the flag implies, with the process-switch terms
+// always present (they are only ever charged when Processes > 1).
+// It replaces the deleted legacyTrans, which duplicated the isolation
+// constants; every number now originates in internal/isolation.
+func flagTrans(scheme isolation.Scheme, colorGuard bool) isolation.TransitionCost {
+	kind := isolation.GuardPage
 	if colorGuard {
-		t.EnterNs, t.LeaveNs = isolation.TransitionPKRUNs, isolation.TransitionPKRUNs
+		kind = isolation.ColorGuard
 	}
+	t := isolation.TransitionForScheme(scheme, kind)
+	t.SwitchNs, t.RefillNs, t.FlushTLB = isolation.CtxSwitchNs, isolation.CacheRefillNs, true
 	return t
 }
 
 // KindConfig returns the paper's simulation parameters with the cost
-// model of an isolation backend kind: the §6.4.3 comparison is
-// KindConfig(w, isolation.ColorGuard, 1) against
+// model of an isolation backend kind under the default scheme: the
+// §6.4.3 comparison is KindConfig(w, isolation.ColorGuard, 1) against
 // KindConfig(w, isolation.MultiProc, n).
 func KindConfig(w Workload, kind isolation.Kind, processes int) Config {
+	return SchemeConfig(w, kind, "", processes)
+}
+
+// SchemeConfig is KindConfig generalized over the transition-scheme
+// axis: the same backend kind priced under an explicit calling
+// convention (empty = process default).
+func SchemeConfig(w Workload, kind isolation.Kind, scheme isolation.Scheme, processes int) Config {
 	cfg := DefaultConfig(w, processes, kind == isolation.ColorGuard)
-	cfg.Trans = isolation.TransitionFor(kind)
+	cfg.Scheme = isolation.ResolveScheme(scheme)
+	cfg.Trans = isolation.TransitionForScheme(cfg.Scheme, kind)
 	cfg.Lifecycle = isolation.LifecycleFor(kind, false)
 	return cfg
 }
 
 // BackendConfig returns the simulation parameters with the cost models
 // of a live backend (including per-backend options such as the MTE
-// tag-preserving madvise).
+// tag-preserving madvise and the backend's transition scheme).
 func BackendConfig(w Workload, b isolation.Backend, processes int) Config {
 	cfg := DefaultConfig(w, processes, b.Kind() == isolation.ColorGuard)
+	cfg.Scheme = b.Scheme()
 	cfg.Trans = b.TransitionCost()
 	cfg.Lifecycle = b.LifecycleCost()
 	return cfg
@@ -299,9 +317,9 @@ func Run(cfg Config) Result {
 
 	trans := cfg.Trans
 	if trans == (isolation.TransitionCost{}) {
-		// Zero-value Config: derive the legacy cost model from the
-		// ColorGuard flag.
-		trans = legacyTrans(cfg.ColorGuard)
+		// Zero-value Config: derive the cost model from the ColorGuard
+		// flag and the transition scheme.
+		trans = flagTrans(isolation.ResolveScheme(cfg.Scheme), cfg.ColorGuard)
 	}
 
 	// Fault machinery. A zero Faults config (and no process default)

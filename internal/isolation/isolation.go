@@ -81,6 +81,11 @@ type Config struct {
 	// madvise flag that leaves granule tags invariant, making recycling
 	// as cheap as under MPK.
 	PreserveTagsOnMadvise bool
+
+	// Scheme selects the transition calling-convention scheme the
+	// backend's TransitionCost is priced under. Empty means the process
+	// default (SchemeDefault unless SetDefaultScheme changed it).
+	Scheme Scheme
 }
 
 // Slot is one allocated isolation domain: where the instance's linear
@@ -179,8 +184,19 @@ const (
 	CacheRefillNs = 3200.0
 )
 
-// TransitionFor returns the transition cost model of a backend kind.
+// TransitionFor returns the transition cost model of a backend kind
+// under the default transition scheme (the §6.4.1 convention every
+// pre-scheme golden was produced with). TransitionForScheme generalizes
+// it over the calling-convention axis.
 func TransitionFor(kind Kind) TransitionCost {
+	return transitionDefault(kind)
+}
+
+// transitionDefault is the historical cost switch, kept verbatim so the
+// default scheme is bit-exact with every pre-scheme number: the faas
+// simulator integrates these floats over millions of virtual-time
+// events, where even one ulp would shift a golden table.
+func transitionDefault(kind Kind) TransitionCost {
 	switch kind {
 	case ColorGuard:
 		return TransitionCost{EnterNs: TransitionPKRUNs, LeaveNs: TransitionPKRUNs}
@@ -259,8 +275,13 @@ type Backend interface {
 	// concrete slot layout (striping distances, guard coverage).
 	CheckIsolation() error
 
-	// TransitionCost returns the per-boundary-crossing cost model.
+	// TransitionCost returns the per-boundary-crossing cost model
+	// (priced under the backend's transition scheme).
 	TransitionCost() TransitionCost
+
+	// Scheme returns the transition scheme the backend was reserved
+	// under (SchemeDefault before Reserve).
+	Scheme() Scheme
 
 	// LifecycleCost returns the per-slot init/recycle cost model.
 	LifecycleCost() LifecycleCost

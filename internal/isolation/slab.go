@@ -20,12 +20,13 @@ var (
 // accumulated lifecycle accounting. Concrete backends embed it and
 // override the lifecycle steps their mechanism changes.
 type slab struct {
-	kind  Kind
-	cfg   Config
-	as    *mem.AS
-	p     *pool.Pool
-	trans TransitionCost
-	life  LifecycleCost
+	kind   Kind
+	cfg    Config
+	as     *mem.AS
+	p      *pool.Pool
+	scheme Scheme
+	trans  TransitionCost
+	life   LifecycleCost
 
 	initNs     float64
 	teardownNs float64
@@ -52,7 +53,8 @@ func (s *slab) Reserve(as *mem.AS, cfg Config) error {
 		return fmt.Errorf("isolation: %s: %w", s.kind, err)
 	}
 	s.as, s.cfg, s.p = as, cfg, p
-	s.trans = TransitionFor(s.kind)
+	s.scheme = ResolveScheme(cfg.Scheme)
+	s.trans = TransitionForScheme(s.scheme, s.kind)
 	s.life = LifecycleFor(s.kind, cfg.PreserveTagsOnMadvise)
 	pfx := "isolation." + string(s.kind)
 	s.ctrAlloc = telemetry.Default.Counter(pfx + ".allocates")
@@ -154,6 +156,13 @@ func (s *slab) CheckIsolation() error {
 
 func (s *slab) TransitionCost() TransitionCost { return s.trans }
 func (s *slab) LifecycleCost() LifecycleCost   { return s.life }
+
+func (s *slab) Scheme() Scheme {
+	if s.scheme == "" {
+		return SchemeDefault
+	}
+	return s.scheme
+}
 
 func (s *slab) LifecycleNs() (initNs, teardownNs float64) {
 	return s.initNs, s.teardownNs

@@ -21,14 +21,25 @@ import (
 )
 
 // Per-backend transition counters (rt.transitions.<kind>), resolved
-// once here so transitionIn pays at most one atomic add. Instances
-// without a backend count under "standalone".
+// once here so transitionIn pays at most one atomic add per counter.
+// Instances without a backend count under "standalone".
 var transCounters = func() map[isolation.Kind]*telemetry.Counter {
 	m := map[isolation.Kind]*telemetry.Counter{
 		"": telemetry.Default.Counter("rt.transitions.standalone"),
 	}
 	for _, k := range isolation.Kinds() {
 		m[k] = telemetry.Default.Counter("rt.transitions." + string(k))
+	}
+	return m
+}()
+
+// Per-scheme transition counters (rt.transitions.scheme.<name>): which
+// calling convention the crossings ran under. Resolved once here and
+// cached on the instance, so the hot path never does a map lookup.
+var schemeCounters = func() map[isolation.Scheme]*telemetry.Counter {
+	m := make(map[isolation.Scheme]*telemetry.Counter, 4)
+	for _, s := range isolation.Schemes() {
+		m[s] = telemetry.Default.Counter("rt.transitions.scheme." + string(s))
 	}
 	return m
 }()
@@ -118,15 +129,22 @@ type InstanceOptions struct {
 	// color (isolation.Colored). Nil means an unmarked standalone
 	// reservation — plain guard-page SFI.
 	Place *isolation.Placement
+
+	// Scheme selects the transition calling-convention scheme the
+	// instance's crossings are charged under. Empty defers to the
+	// placement backend's scheme, then to the process default.
+	Scheme isolation.Scheme
 }
 
 // Transition cost model (§6.4.1): beyond the instructions the sandbox
-// itself executes, each transition does stack switching, ABI
-// adjustment, and exception-handler setup. The paper measures 30.34 ns
-// per transition without ColorGuard at 2.2 GHz.
+// itself executes, each transition pays its calling convention's cost —
+// stack switching, ABI adjustment, exception-handler setup under the
+// default scheme (66.7 cycles ≈ 30.34 ns at 2.2 GHz), down to a bare
+// call/ret under the zero-cost scheme. The per-scheme convention charge
+// lives in isolation.Scheme.BaseCycles; what stays here is the
+// mechanism fallback cost.
 const (
-	transitionBaseCycles = 66.7  // ≈30.34 ns at 2.2 GHz
-	syscallCycles        = 330.0 // arch_prctl fallback for %gs writes
+	syscallCycles = 330.0 // arch_prctl fallback for %gs writes
 )
 
 // Instance is an instantiated module bound to machine state.
@@ -147,12 +165,27 @@ type Instance struct {
 	// the transition and teardown behavior uniformly across backends.
 	place isolation.Placement
 
+	// scheme is the resolved transition scheme; transCycles is its
+	// per-crossing convention charge, resolved once at instantiation so
+	// transitionIn/Out touch no map or switch.
+	scheme      isolation.Scheme
+	transCycles float64
+
+	// ctrKind/ctrScheme are the instance's pre-resolved transition
+	// counters (nil-free: resolved for every kind and scheme).
+	ctrKind   *telemetry.Counter
+	ctrScheme *telemetry.Counter
+
 	// Transitions counts sandbox entries (Invoke and host-call
 	// returns re-enter; each entry has a matching exit).
 	Transitions uint64
 
 	hosts map[string]HostFunc
 }
+
+// Scheme returns the transition scheme the instance's crossings are
+// charged under.
+func (inst *Instance) Scheme() isolation.Scheme { return inst.scheme }
 
 // Slot returns the isolation slot the instance runs in (the zero Slot
 // for unmarked standalone instances).
@@ -172,6 +205,22 @@ func NewInstance(mod *Module, opts InstanceOptions) (*Instance, error) {
 	if opts.Place != nil {
 		inst.place = *opts.Place
 	}
+	// Resolve the transition scheme: an explicit option wins, then the
+	// placement backend's scheme, then the process default. The
+	// per-crossing charge and the telemetry counters are resolved here,
+	// once, so each transition pays plain adds.
+	sch := opts.Scheme
+	var kind isolation.Kind
+	if b := inst.place.Backend; b != nil {
+		kind = b.Kind()
+		if sch == "" {
+			sch = b.Scheme()
+		}
+	}
+	inst.scheme = isolation.ResolveScheme(sch)
+	inst.transCycles = inst.scheme.BaseCycles()
+	inst.ctrKind = transCounters[kind]
+	inst.ctrScheme = schemeCounters[inst.scheme]
 	guard := opts.GuardBytes
 	if guard == 0 {
 		guard = 4 << 30
@@ -263,7 +312,7 @@ func pageUp(n uint64) uint64 {
 // the machine registers the compiled code expects.
 func (inst *Instance) transitionIn() {
 	m := inst.Mach
-	m.Stats.Cycles += transitionBaseCycles
+	m.Stats.Cycles += inst.transCycles
 	cfg := inst.Mod.Cfg
 
 	// Segment base (Segue modes) — user instruction or syscall.
@@ -296,11 +345,8 @@ func (inst *Instance) transitionIn() {
 	}
 	inst.Transitions++
 	if telemetry.Enabled() {
-		var k isolation.Kind
-		if b := inst.place.Backend; b != nil {
-			k = b.Kind()
-		}
-		transCounters[k].Inc()
+		inst.ctrKind.Inc()
+		inst.ctrScheme.Inc()
 	}
 }
 
@@ -308,7 +354,7 @@ func (inst *Instance) transitionIn() {
 // PKRU restriction.
 func (inst *Instance) transitionOut() {
 	m := inst.Mach
-	m.Stats.Cycles += transitionBaseCycles
+	m.Stats.Cycles += inst.transCycles
 	if inst.place.Slot.Pkey != 0 {
 		m.Stats.Cycles += m.Cost.WRPKRU
 		m.PKRU = mem.PkruAllowAll

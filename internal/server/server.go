@@ -57,6 +57,11 @@ type Config struct {
 	// not pick one with ?backend= (default: colorguard).
 	DefaultBackend isolation.Kind
 
+	// DefaultScheme is the transition scheme used when a request does
+	// not pick one with ?scheme= (default: the process default,
+	// normally isolation.SchemeDefault).
+	DefaultScheme isolation.Scheme
+
 	// Shards is the number of dispatcher shards, each with its own
 	// bounded queue (default: NumCPU, capped at 8).
 	Shards int
@@ -103,6 +108,7 @@ func (c Config) withDefaults() Config {
 	if c.DefaultBackend == "" {
 		c.DefaultBackend = isolation.ColorGuard
 	}
+	c.DefaultScheme = isolation.ResolveScheme(c.DefaultScheme)
 	if c.Shards <= 0 {
 		c.Shards = runtime.NumCPU()
 		if c.Shards > 8 {
@@ -249,6 +255,9 @@ func New(cfg Config) (*Server, error) {
 	if err := validBackend(cfg.DefaultBackend); err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
+	if _, err := isolation.ParseScheme(string(cfg.DefaultScheme)); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
 	s := &Server{
 		cfg:     cfg,
 		kernels: kernels,
@@ -292,6 +301,7 @@ type shard struct {
 type job struct {
 	kernel   workloads.Kernel
 	backend  isolation.Kind
+	scheme   isolation.Scheme
 	batch    uint64
 	admitted time.Time
 	deadline time.Time // zero = no deadline
@@ -425,6 +435,15 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	scheme := s.cfg.DefaultScheme
+	if sc := r.URL.Query().Get("scheme"); sc != "" {
+		parsed, err := isolation.ParseScheme(sc)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		scheme = parsed
+	}
 	batch := k.TestArgs[0]
 	if n := r.URL.Query().Get("n"); n != "" {
 		v, err := strconv.ParseUint(n, 10, 64)
@@ -459,6 +478,7 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	j := &job{
 		kernel:   k,
 		backend:  backend,
+		scheme:   scheme,
 		batch:    batch,
 		admitted: now,
 		done:     make(chan jobResult, 1),
@@ -503,6 +523,7 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"kernel":   k.Name,
 			"backend":  string(backend),
+			"scheme":   string(scheme),
 			"n":        batch,
 			"checksum": res.checksum,
 			"sim_us":   res.simNs / 1e3,

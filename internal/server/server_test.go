@@ -13,6 +13,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/fault"
 	"repro/internal/ir"
+	"repro/internal/isolation"
 	"repro/internal/rt"
 	"repro/internal/sfi"
 	"repro/internal/telemetry"
@@ -156,6 +157,7 @@ func TestServeInputValidation(t *testing.T) {
 	}{
 		{"/invoke/no-such-kernel", http.StatusNotFound},
 		{"/invoke/regex-filtering?backend=bogus", http.StatusBadRequest},
+		{"/invoke/regex-filtering?scheme=bogus", http.StatusBadRequest},
 		{"/invoke/regex-filtering?n=0", http.StatusBadRequest},
 		{"/invoke/regex-filtering?n=-4", http.StatusBadRequest},
 		{"/invoke/regex-filtering?n=900000000", http.StatusBadRequest},
@@ -167,6 +169,79 @@ func TestServeInputValidation(t *testing.T) {
 	}
 	if st := s.Stats(); st.Completed != 0 {
 		t.Errorf("validation failures reached the workers: %+v", st)
+	}
+}
+
+// TestServeSchemes: a request can pick its transition scheme, the
+// response reports it, results are scheme-independent, and the cheaper
+// convention yields strictly less simulated time for the same work.
+func TestServeSchemes(t *testing.T) {
+	s, err := New(Config{
+		Shards:   1,
+		Kernels:  []string{"regex-filtering"},
+		Registry: telemetry.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	sim := map[string]float64{}
+	sum := map[string]float64{}
+	for _, scheme := range []string{"default", "zerocost", "trampoline"} {
+		code, body := get(t, ts.URL+"/invoke/regex-filtering?n=16&scheme="+scheme)
+		if code != http.StatusOK {
+			t.Fatalf("scheme %s: status %d (%v)", scheme, code, body)
+		}
+		if got := body["scheme"]; got != scheme {
+			t.Errorf("scheme %s: response reports %v", scheme, got)
+		}
+		sim[scheme] = body["sim_us"].(float64)
+		sum[scheme] = body["checksum"].(float64)
+	}
+	if sum["zerocost"] != sum["default"] || sum["trampoline"] != sum["default"] {
+		t.Errorf("checksums differ across schemes: %v", sum)
+	}
+	if !(sim["zerocost"] < sim["default"] && sim["default"] < sim["trampoline"]) {
+		t.Errorf("simulated time not ordered by convention cost: %v", sim)
+	}
+
+	// An omitted ?scheme= uses the server's default.
+	code, body := get(t, ts.URL+"/invoke/regex-filtering?n=16")
+	if code != http.StatusOK || body["scheme"] != "default" {
+		t.Errorf("no ?scheme=: %d %v, want 200 with scheme=default", code, body)
+	}
+}
+
+// TestServeDefaultSchemeConfig: Config.DefaultScheme applies to every
+// request that names no scheme, and an unknown default is rejected at
+// construction.
+func TestServeDefaultSchemeConfig(t *testing.T) {
+	if _, err := New(Config{DefaultScheme: "warp", Registry: telemetry.NewRegistry()}); err == nil {
+		t.Fatal("New accepted an unknown DefaultScheme")
+	}
+	s, err := New(Config{
+		Shards:        1,
+		Kernels:       []string{"regex-filtering"},
+		DefaultScheme: isolation.SchemeZeroCost,
+		Registry:      telemetry.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts.URL+"/invoke/regex-filtering?n=16")
+	if code != http.StatusOK || body["scheme"] != "zerocost" {
+		t.Errorf("default-scheme request: %d %v, want 200 with scheme=zerocost", code, body)
+	}
+	code, body = get(t, ts.URL+"/invoke/regex-filtering?n=16&scheme=trampoline")
+	if code != http.StatusOK || body["scheme"] != "trampoline" {
+		t.Errorf("?scheme=trampoline must override the server default: %d %v", code, body)
 	}
 }
 

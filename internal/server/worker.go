@@ -26,11 +26,23 @@ func compileKernel(k workloads.Kernel) (*rt.Module, error) {
 // outright — simulated address spaces are single-owner — and runs one
 // request at a time: allocate a slot from the request's backend, build
 // a fresh instance in it, invoke the kernel, recycle the slot.
+//
+// Backends are keyed by (kind, scheme): a slab's transition cost model
+// is fixed at Reserve, so requests under different transition schemes
+// must not share a slab.
 type worker struct {
 	s        *Server
 	id       int
 	maxBytes uint64 // largest linear memory any served kernel needs
-	backends map[isolation.Kind]isolation.Backend
+	backends map[backendKey]isolation.Backend
+}
+
+// backendKey identifies one of a worker's slabs: the isolation
+// mechanism plus the transition scheme its cost model was reserved
+// under.
+type backendKey struct {
+	kind   isolation.Kind
+	scheme isolation.Scheme
 }
 
 func newWorker(s *Server, id int) *worker {
@@ -44,21 +56,24 @@ func newWorker(s *Server, id int) *worker {
 		s:        s,
 		id:       id,
 		maxBytes: maxBytes,
-		backends: make(map[isolation.Kind]isolation.Backend),
+		backends: make(map[backendKey]isolation.Backend),
 	}
 }
 
-// backend returns the worker's slab for kind, reserving it on first
-// use (a worker that never sees an MTE request never pays for an MTE
-// slab).
-func (w *worker) backend(kind isolation.Kind) (isolation.Backend, error) {
-	if b, ok := w.backends[kind]; ok {
+// backend returns the worker's slab for (kind, scheme), reserving it on
+// first use (a worker that never sees an MTE request never pays for an
+// MTE slab, and a worker that never sees a zerocost request never pays
+// for a second slab of the same kind).
+func (w *worker) backend(kind isolation.Kind, scheme isolation.Scheme) (isolation.Backend, error) {
+	key := backendKey{kind: kind, scheme: scheme}
+	if b, ok := w.backends[key]; ok {
 		return b, nil
 	}
 	cfg := isolation.Config{
 		Slots:          w.s.cfg.SlotsPerWorker,
 		MaxMemoryBytes: w.maxBytes,
 		GuardBytes:     1 << 20,
+		Scheme:         scheme,
 	}
 	if kind == isolation.ColorGuard {
 		cfg.Keys = 15
@@ -71,7 +86,7 @@ func (w *worker) backend(kind isolation.Kind) (isolation.Backend, error) {
 		_ = b.Release()
 		return nil, fmt.Errorf("%s slot layout unsafe: %w", kind, err)
 	}
-	w.backends[kind] = b
+	w.backends[key] = b
 	return b, nil
 }
 
@@ -122,7 +137,7 @@ func (w *worker) serve(j *job) {
 // execute runs one request end to end on a fresh placed instance.
 func (w *worker) execute(j *job) jobResult {
 	mod := w.s.mods[j.kernel.Name]
-	b, err := w.backend(j.backend)
+	b, err := w.backend(j.backend, j.scheme)
 	if err != nil {
 		return jobResult{status: http.StatusInternalServerError, err: err.Error()}
 	}

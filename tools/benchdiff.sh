@@ -2,8 +2,20 @@
 # benchdiff.sh — wall-time deltas between the last two records of the
 # perf trajectory (BENCH_history.jsonl, appended by `make results`).
 #
-# Usage: sh tools/benchdiff.sh [history-file]
+# Usage: sh tools/benchdiff.sh [-gate PCT] [history-file]
+#
+# With -gate PCT the script becomes a regression gate: it exits nonzero
+# if any experiment in the latest record is more than PCT percent slower
+# (wall time) than in the previous record. Experiments present in only
+# one record never gate; records from different tiers never gate (the
+# comparison would be meaningless).
 set -eu
+
+gate=""
+if [ "${1:-}" = "-gate" ]; then
+    gate="${2:?benchdiff: -gate needs a percent threshold}"
+    shift 2
+fi
 
 hist="${1:-BENCH_history.jsonl}"
 if [ ! -f "$hist" ]; then
@@ -16,14 +28,15 @@ if [ "$lines" -lt 2 ]; then
     exit 1
 fi
 
-tail -n 2 "$hist" | python3 -c '
-import json, sys
+tail -n 2 "$hist" | GATE="$gate" python3 -c '
+import json, os, sys
 
 prev, cur = (json.loads(l) for l in sys.stdin if l.strip())
 old = {r["id"]: r for r in prev["results"]}
 print("benchdiff: %s (%s)  ->  %s (%s)"
       % (prev["time"], prev["tier"], cur["time"], cur["tier"]))
 print("%-12s %9s %9s %8s" % ("experiment", "before s", "after s", "delta"))
+regressed = []
 for r in cur["results"]:
     b = old.get(r["id"])
     if b is None or not b["wall_seconds"]:
@@ -32,7 +45,24 @@ for r in cur["results"]:
     ratio = b["wall_seconds"] / r["wall_seconds"] if r["wall_seconds"] else 0.0
     print("%-12s %9.2f %9.2f %7.2fx"
           % (r["id"], b["wall_seconds"], r["wall_seconds"], ratio))
+    if r["wall_seconds"] > b["wall_seconds"]:
+        slow = 100.0 * (r["wall_seconds"] / b["wall_seconds"] - 1.0)
+        regressed.append((r["id"], slow))
 for rid in old:
     if all(r["id"] != rid for r in cur["results"]):
         print("%-12s %9.2f %9s %8s" % (rid, old[rid]["wall_seconds"], "-", "gone"))
+
+gate = os.environ.get("GATE")
+if gate:
+    if prev["tier"] != cur["tier"]:
+        print("benchdiff: tiers differ (%s vs %s); gate skipped"
+              % (prev["tier"], cur["tier"]))
+        sys.exit(0)
+    limit = float(gate)
+    over = [(rid, slow) for rid, slow in regressed if slow > limit]
+    for rid, slow in over:
+        print("benchdiff: GATE: %s regressed %.1f%% (> %g%%)" % (rid, slow, limit))
+    if over:
+        sys.exit(1)
+    print("benchdiff: gate ok (no experiment regressed more than %g%%)" % limit)
 '

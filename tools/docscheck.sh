@@ -36,23 +36,23 @@ done
 # --- 3. advertised ids and flags exist ----------------------------------
 go build ./... || err "go build failed"
 ids=$(go run ./cmd/benchtab -list)
-for id in transition scaling faultsweep backend-matrix; do
+for id in transition transitions scaling faultsweep backend-matrix; do
     echo "$ids" | grep -q "^$id " || err "experiment id $id (documented) not in benchtab -list"
 done
 flags=$(go run ./cmd/benchtab -help 2>&1 || true)
-for f in tier history compare results metrics trace pprof j; do
+for f in tier scheme history compare results metrics trace pprof j; do
     echo "$flags" | grep -q -- "-$f" || err "benchtab flag -$f (documented) missing"
 done
 flags=$(go run ./cmd/faassim -help 2>&1 || true)
-for f in faultrate faultseed timeout retries shed backend coldstart latency; do
+for f in faultrate faultseed timeout retries shed backend scheme coldstart latency; do
     echo "$flags" | grep -q -- "-$f" || err "faassim flag -$f (documented) missing"
 done
 flags=$(go run ./cmd/faasd -help 2>&1 || true)
-for f in addr addrfile kernels backend shards workers queue maxinflight slots timeout breakerfails tier; do
+for f in addr addrfile kernels backend scheme shards workers queue maxinflight slots timeout breakerfails tier; do
     echo "$flags" | grep -q -- "-$f" || err "faasd flag -$f (documented) missing"
 done
 flags=$(go run ./cmd/faasload -help 2>&1 || true)
-for f in url kernel rps seconds ramp json smoke strict; do
+for f in url kernel scheme rps seconds ramp json smoke strict; do
     echo "$flags" | grep -q -- "-$f" || err "faasload flag -$f (documented) missing"
 done
 
@@ -73,7 +73,16 @@ smoke "faassim (faults)"      go run ./cmd/faassim -handler regex-filtering -pro
                                   -faultrate 0.05 -retries 4 -timeout 100 -shed 512
 smoke "faassim (mte cold)"    go run ./cmd/faassim -handler regex-filtering -procs 2 -seconds 0.2 \
                                   -backend mte -coldstart -faultrate 0.02 -retries 3
+smoke "faassim (zerocost)"    go run ./cmd/faassim -handler regex-filtering -procs 2 -seconds 0.2 \
+                                  -scheme zerocost
+smoke "benchtab -scheme"      go run ./cmd/benchtab -scheme zerocost -o /dev/null transition
 smoke "quickstart example"    go run ./examples/quickstart
+
+# An unknown scheme must be rejected with a usage error, not silently
+# accepted as the default.
+if go run ./cmd/faassim -scheme warp -seconds 0.1 >/dev/null 2>&1; then
+    err "faassim accepted -scheme warp"
+fi
 
 if [ "$fail" -ne 0 ]; then
     echo "docscheck: FAILED" >&2
