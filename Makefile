@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet ci docscheck bench-smoke bench results benchdiff benchgate fuse-bench serve-smoke serve-bench
+.PHONY: build test race vet ci docscheck bench-smoke bench results benchdiff benchgate fuse-bench serve-smoke serve-bench trace-smoke span-bench
 
 build:
 	$(GO) build ./...
@@ -25,8 +25,10 @@ ci:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	sh tools/servesmoke.sh
+	sh tools/tracesmoke.sh
 	$(MAKE) fuse-bench
-	-$(MAKE) benchgate
+	$(MAKE) span-bench
+	$(MAKE) benchgate
 
 # Documentation gate: package comments present, ARCHITECTURE.md linked
 # and complete, documented flags/ids exist, documented commands run in
@@ -55,10 +57,10 @@ benchdiff:
 	sh tools/benchdiff.sh
 
 # Regression gate over the same trajectory: fail if any experiment in
-# the latest record is >10% slower than in the previous one. Advisory in
-# `make ci` (leading dash): wall times are noisy on shared machines, so
-# a trip should start an investigation, not block a merge. Needs two
-# records in BENCH_history.jsonl; exits 1 (gating) otherwise.
+# the latest record is >10% slower than in the previous one. Enforcing
+# in `make ci` for same-tier comparisons; new/gone experiments, tier
+# mismatches, and a history with fewer than two records all skip (exit
+# 0) rather than gate, so only a genuine same-tier slowdown blocks.
 benchgate:
 	sh tools/benchdiff.sh -gate 10
 
@@ -68,9 +70,22 @@ fuse-bench:
 	REPRO_FUSEBENCH=1 $(GO) test -run TestFusedTierNotSlower -count=1 -v .
 
 # Serving-layer smoke: boot faasd on an ephemeral port, burst it with
-# faasload, check /healthz and /metrics, drain cleanly on SIGTERM.
+# faasload, check /healthz, /metrics, and /debug/requests, drain
+# cleanly on SIGTERM.
 serve-smoke:
 	sh tools/servesmoke.sh
+
+# Tracing smoke: boot faasd with -trace, load it, drain, and validate
+# that the emitted Chrome-trace JSON parses and contains the serving
+# phase spans (queue/exec/transitions on the wall-clock track).
+trace-smoke:
+	sh tools/tracesmoke.sh
+
+# Span-overhead guard: with spans fully enabled, fused-tier kernel
+# invocations must cost no more than 3% extra wall time versus the
+# spans-disabled path (best-of-3 each way to damp CI noise).
+span-bench:
+	REPRO_SPANBENCH=1 $(GO) test -run TestSpanOverheadBounded -count=1 -v .
 
 # Serving-layer benchmark: sweep an open-loop RPS ramp against a live
 # faasd and record the throughput/latency trajectory per step in

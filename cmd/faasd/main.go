@@ -11,12 +11,15 @@
 //	faasd -shards 4 -workers 2 -queue 128 -timeout 250ms
 //	faasd -backend multiproc -kernels regex-filtering
 //	faasd -scheme zerocost             # default transition scheme
+//	faasd -spans=false                 # disable per-request phase spans
+//	faasd -trace /tmp/serve.json       # Chrome trace written on drain
 //
 // Endpoints:
 //
 //	POST/GET /invoke/<kernel>?n=<batch>&backend=<kind>&scheme=<scheme>
-//	GET      /healthz   — ok, or 503 once draining
+//	GET      /healthz   — ok, or 503 once draining; per-shard queue depth
 //	GET      /metrics   — telemetry registry snapshot (JSON)
+//	GET      /debug/requests — slowest/most-recent phase-attributed requests
 //
 // SIGINT/SIGTERM starts a graceful drain: /healthz flips to 503 so load
 // balancers stop sending, in-flight requests finish, then the process
@@ -60,6 +63,8 @@ func main() {
 	breakerOpen := flag.Duration("breakeropen", 2*time.Second, "how long an open breaker rejects before probing")
 	drainTimeout := flag.Duration("draintimeout", 10*time.Second, "how long a signal-triggered drain waits for in-flight requests")
 	tierFlag := flag.String("tier", "fused", "execution tier for worker instances: slow, fast, or fused")
+	spans := flag.Bool("spans", true, "attribute every request's wall time to phases (X-Trace-Id, /debug/requests, serve.phase metrics)")
+	tracePath := flag.String("trace", "", "write a Chrome trace of the serving run to this file on drain")
 	flag.Parse()
 
 	tier, err := cpu.ParseTier(*tierFlag)
@@ -81,6 +86,10 @@ func main() {
 	}
 
 	telemetry.SetEnabled(true)
+	telemetry.SetSpansEnabled(*spans)
+	if *tracePath != "" {
+		telemetry.Trace.Enable()
+	}
 	cfg := server.Config{
 		DefaultBackend:  isolation.Kind(*backend),
 		DefaultScheme:   sch,
@@ -153,9 +162,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "faasd:", err)
 		os.Exit(1)
 	}
+	if *tracePath != "" {
+		writeTrace(*tracePath)
+	}
 	st := s.Stats()
 	fmt.Fprintf(os.Stderr, "[faasd drained: %d served, %d completed, %d shed, %d timeouts, %d failed]\n",
 		st.Requests, st.Completed, st.Shed, st.Timeouts, st.Failed)
+}
+
+// writeTrace flushes the process tracer to path, warning when the ring
+// buffer wrapped — a truncated trace silently read as complete is worse
+// than no trace.
+func writeTrace(path string) {
+	telemetry.Trace.Disable()
+	if n := telemetry.Trace.Dropped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "[faasd trace: %d events dropped (ring buffer wrapped); the trace is truncated]\n", n)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faasd: trace:", err)
+		return
+	}
+	defer f.Close()
+	if err := telemetry.Trace.WriteJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, "faasd: trace:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "[faasd trace written to %s]\n", path)
 }
 
 // validate rejects nonsensical knob settings before any work starts.

@@ -25,6 +25,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -52,6 +53,19 @@ type stepResult struct {
 	SimP50Us      float64 `json:"sim_p50_us"`
 	SimP95Us      float64 `json:"sim_p95_us"`
 	SimP99Us      float64 `json:"sim_p99_us"`
+
+	// Phases holds per-phase wall-time percentiles, keyed by phase name
+	// (queue, exec, transition_in, ...), when the server attributes
+	// requests (faasd -spans, the default). Absent otherwise.
+	Phases map[string]phasePercentiles `json:"phases,omitempty"`
+}
+
+// phasePercentiles is the p50/p95/p99 of one phase's per-request wall
+// time, in microseconds.
+type phasePercentiles struct {
+	P50Us float64 `json:"p50_us"`
+	P95Us float64 `json:"p95_us"`
+	P99Us float64 `json:"p99_us"`
 }
 
 func main() {
@@ -106,6 +120,18 @@ func main() {
 			st.TargetRPS, st.Offered, st.OK, st.Shed, st.Errors,
 			st.ThroughputRPS, st.P50Ms, st.P95Ms, st.P99Ms,
 			st.SimP50Us, st.SimP95Us, st.SimP99Us)
+		if len(st.Phases) > 0 {
+			names := make([]string, 0, len(st.Phases))
+			for name := range st.Phases {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			fmt.Printf("          phase p95 (us):")
+			for _, name := range names {
+				fmt.Printf(" %s %.1f", name, st.Phases[name].P95Us)
+			}
+			fmt.Println()
+		}
 		if st.Errors > 0 || st.OK == 0 || ((*smoke || *strict) && st.Shed > 0) {
 			failed = true
 		}
@@ -163,10 +189,11 @@ type collector struct {
 	mu               sync.Mutex
 	latencies        []float64 // wall ms, successful requests only
 	simLatencies     []float64 // simulated µs from the response body
+	phases           map[string][]float64
 	ok, shed, errors int
 }
 
-func (c *collector) record(status int, err error, d time.Duration, simUs float64) {
+func (c *collector) record(status int, err error, d time.Duration, simUs float64, phases map[string]float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	switch {
@@ -178,6 +205,14 @@ func (c *collector) record(status int, err error, d time.Duration, simUs float64
 		if simUs > 0 {
 			c.simLatencies = append(c.simLatencies, simUs)
 		}
+		if len(phases) > 0 {
+			if c.phases == nil {
+				c.phases = make(map[string][]float64)
+			}
+			for name, us := range phases {
+				c.phases[name] = append(c.phases[name], us)
+			}
+		}
 	case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable || status == http.StatusGatewayTimeout:
 		c.shed++
 	default:
@@ -188,7 +223,7 @@ func (c *collector) record(status int, err error, d time.Duration, simUs float64
 func (c *collector) result(targetRPS, offered int, elapsed time.Duration) stepResult {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return stepResult{
+	st := stepResult{
 		TargetRPS:     targetRPS,
 		Offered:       offered,
 		OK:            c.ok,
@@ -202,6 +237,17 @@ func (c *collector) result(targetRPS, offered int, elapsed time.Duration) stepRe
 		SimP95Us:      stats.Percentile(c.simLatencies, 95),
 		SimP99Us:      stats.Percentile(c.simLatencies, 99),
 	}
+	if len(c.phases) > 0 {
+		st.Phases = make(map[string]phasePercentiles, len(c.phases))
+		for name, samples := range c.phases {
+			st.Phases[name] = phasePercentiles{
+				P50Us: stats.Percentile(samples, 50),
+				P95Us: stats.Percentile(samples, 95),
+				P99Us: stats.Percentile(samples, 99),
+			}
+		}
+	}
+	return st
 }
 
 func fire(client *http.Client, target string, c *collector, wg *sync.WaitGroup) {
@@ -210,17 +256,20 @@ func fire(client *http.Client, target string, c *collector, wg *sync.WaitGroup) 
 	resp, err := client.Get(target)
 	status := 0
 	var simUs float64
+	var phases map[string]float64
 	if err == nil {
 		var body struct {
-			SimUs float64 `json:"sim_us"`
+			SimUs   float64            `json:"sim_us"`
+			PhaseUs map[string]float64 `json:"phase_us"`
 		}
 		_ = json.NewDecoder(resp.Body).Decode(&body)
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 		status = resp.StatusCode
 		simUs = body.SimUs
+		phases = body.PhaseUs
 	}
-	c.record(status, err, time.Since(start), simUs)
+	c.record(status, err, time.Since(start), simUs, phases)
 }
 
 // openLoop launches requests on a fixed schedule for the step duration

@@ -46,6 +46,7 @@ func main() {
 	instanceKB := flag.Uint64("instancekb", 64, "linear-memory KiB the cold-start lifecycle costs are charged on")
 	preserveTags := flag.Bool("preservetags", false, "model the tag-preserving madvise (mte backend only)")
 	latency := flag.Bool("latency", false, "record per-request latency and print p50/p95/p99 columns")
+	phases := flag.Bool("phases", false, "attribute virtual time to request phases and print the mean per-phase breakdown per row")
 	faultRate := flag.Float64("faultrate", 0, "base per-request fault rate, scaled into each backend's fault mix (0 = no injection)")
 	faultSeed := flag.Uint64("faultseed", 1789, "fault-injector RNG seed (independent of the simulation seed)")
 	timeoutMs := flag.Float64("timeout", 0, "per-request deadline in virtual ms (0 = none)")
@@ -133,6 +134,7 @@ func main() {
 				cfg.ColdStart = *coldStart
 				cfg.InstanceBytes = *instanceKB << 10
 				cfg.RecordLatency = *latency
+				cfg.RecordPhases = *phases
 			}
 			cg := faas.Run(cgCfg)
 			mp := faas.Run(mpCfg)
@@ -147,6 +149,10 @@ func main() {
 					cg.LatencyP50Ns/1e6, cg.LatencyP95Ns/1e6, cg.LatencyP99Ns/1e6)
 			}
 			fmt.Println()
+			if *phases {
+				printPhases(shortName(kind), cg)
+				printPhases("mp", mp)
+			}
 		}
 		fmt.Println()
 	}
@@ -196,6 +202,23 @@ func validate(backend string, faultRate, seconds, computeNs, timeoutMs float64,
 		return fmt.Errorf("-instancekb %d: the lifecycle charge needs at least 1 KiB", instanceKB)
 	}
 	return nil
+}
+
+// printPhases prints one side's mean virtual-time phase breakdown per
+// completed request (-phases).
+func printPhases(label string, r faas.Result) {
+	if r.Completed == 0 {
+		return
+	}
+	n := float64(r.Completed)
+	fmt.Printf("        %s phases (µs/req):", label)
+	names := telemetry.PhaseNames()
+	for p, total := range r.PhaseTotalsNs {
+		if total > 0 {
+			fmt.Printf(" %s %.2f", names[p], total/n/1e3)
+		}
+	}
+	fmt.Println()
 }
 
 // shortName abbreviates a backend kind for the table header.

@@ -45,6 +45,7 @@ func TestGoldenTables(t *testing.T) {
 	for _, id := range []string{
 		"transition",
 		"transitions",
+		"attribution",
 		"scaling",
 		"mte",
 		"fig6",

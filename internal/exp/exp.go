@@ -200,6 +200,7 @@ func All() []Experiment {
 		{"fig5", "SPEC CPU 2017 on LFI, normalized to native (Figure 5)", Fig5SpecLFI},
 		{"transition", "Transition cost microbenchmark (§6.4.1)", TransitionCost},
 		{"transitions", "Transition schemes across isolation backends", TransitionSchemes},
+		{"attribution", "Per-request latency attribution by phase", Attribution},
 		{"scaling", "Slot-scaling microbenchmark (§6.4.2)", ScalingSlots},
 		{"fig6", "ColorGuard vs multiprocess throughput (Figure 6)", Fig6Throughput},
 		{"fig7a", "Context switches (Figure 7a)", Fig7aContextSwitches},

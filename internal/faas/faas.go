@@ -103,6 +103,16 @@ type Config struct {
 	// by default so bulk experiment sweeps pay no per-request append.
 	RecordLatency bool
 
+	// RecordPhases attributes every completed request's virtual-time
+	// latency to the fixed telemetry phases (IO wait, queue wait,
+	// placement, transition in/out, execution) and fills
+	// Result.PhaseTotalsNs and Result.PhaseBreakdown. The bookkeeping
+	// never touches the simulation clock, so enabling it leaves every
+	// figure byte-identical; it also arms process-wide whenever
+	// telemetry.SpansEnabled() is on, which the attribution golden test
+	// uses to prove the wired paths inert.
+	RecordPhases bool
+
 	// Faults arms deterministic fault injection and the degradation
 	// policies (retry/backoff, deadline, admission control, circuit
 	// breaker). The zero value is inert: no fault branch executes and
@@ -235,6 +245,16 @@ type Result struct {
 	// (ColdStart runs only).
 	LifecycleNs float64
 
+	// PhaseTotalsNs accumulates, per telemetry phase, the virtual time
+	// completed requests spent there (RecordPhases runs only). Summed
+	// over Completed requests; PhaseTotalsNs[p]/Completed is the mean.
+	PhaseTotalsNs [telemetry.NumPhases]float64
+	// PhaseBreakdown holds each completed request's per-phase virtual
+	// nanoseconds, in completion order (RecordPhases runs only). Each
+	// row sums to the request's arrival-to-completion latency within
+	// rounding — the phase-sum conservation invariant.
+	PhaseBreakdown [][telemetry.NumPhases]float64
+
 	// Latencies holds each completed request's arrival-to-completion
 	// virtual time in ns, in completion order (RecordLatency runs only).
 	Latencies []float64
@@ -274,6 +294,12 @@ type task struct {
 	base      uint64 // instance memory base (for TLB page addresses)
 	started   bool   // cold-start init already charged
 	attempts  int    // failed attempts so far (fault-armed runs)
+
+	// Phase attribution (RecordPhases runs only). mark is the last
+	// clock instant already attributed; the gap up to the next CPU
+	// grant splits into IO (until readyAt) and queue (after).
+	mark   float64
+	phases [telemetry.NumPhases]float64
 }
 
 // ioHeap orders tasks by IO completion.
@@ -321,6 +347,11 @@ func Run(cfg Config) Result {
 		// flag and the transition scheme.
 		trans = flagTrans(isolation.ResolveScheme(cfg.Scheme), cfg.ColorGuard)
 	}
+
+	// Phase attribution is resolved once per run; when off, the
+	// simulation body pays one predictable branch per bookkeeping site
+	// and allocates nothing. It never advances the clock either way.
+	phasesOn := cfg.RecordPhases || telemetry.SpansEnabled()
 
 	// Fault machinery. A zero Faults config (and no process default)
 	// leaves faultsOn false, and every fault branch below is skipped:
@@ -394,6 +425,11 @@ func Run(cfg Config) Result {
 		}
 		res.Retried++
 		t.readyAt = clock + fcfg.Retry.DelayNs(t.attempts)
+		if phasesOn {
+			// The backoff window (now → readyAt) is off-CPU waiting;
+			// the next CPU grant attributes it from this mark.
+			t.mark = clock
+		}
 		heap.Push(&io, t)
 	}
 
@@ -431,6 +467,9 @@ func Run(cfg Config) Result {
 				base:      uint64(1)<<45 + nextBase,
 			}
 			t.fullNs = t.computeNs
+			if phasesOn {
+				t.mark = clock
+			}
 			nextBase += 1 << 23 // instances 8 MiB apart
 			res.Offered++
 			if faultsOn {
@@ -547,6 +586,18 @@ func Run(cfg Config) Result {
 		for len(ready[p]) > 0 && clock < sliceEnd && clock < cfg.DurationNs {
 			t := ready[p][0]
 			ready[p] = ready[p][1:]
+			if phasesOn {
+				// The gap since the last attributed instant splits at
+				// readyAt: before it the task was off-CPU (IO or
+				// backoff), after it ready but waiting for the core.
+				if t.readyAt > t.mark {
+					t.phases[telemetry.PhaseIO] += t.readyAt - t.mark
+					t.phases[telemetry.PhaseQueue] += clock - t.readyAt
+				} else {
+					t.phases[telemetry.PhaseQueue] += clock - t.mark
+				}
+				t.mark = clock
+			}
 			if faultsOn {
 				// Deadline: a request that reaches the CPU past its
 				// timeout is dropped before any further cost is sunk.
@@ -571,6 +622,9 @@ func Run(cfg Config) Result {
 				init := cfg.Lifecycle.InitNs(cfg.InstanceBytes, cfg.Lifecycle.RecolorOnReuse)
 				clock += init
 				res.LifecycleNs += init
+				if phasesOn {
+					t.phases[telemetry.PhasePlacement] += init
+				}
 				if faultsOn && inj.Hit(fault.ColdStartFail, fcfg.Rates.ColdStartFail) {
 					// The init cost is spent but the instance is dead.
 					fail(t)
@@ -580,18 +634,30 @@ func Run(cfg Config) Result {
 			}
 			clock += transCost
 			res.Transitions += 2
+			if phasesOn {
+				t.phases[telemetry.PhaseTransitionIn] += trans.EnterNs
+				t.phases[telemetry.PhaseTransitionOut] += trans.LeaveNs
+			}
 			if faultsOn && inj.Hit(fault.TransitionFault, fcfg.Rates.TransitionFault) {
 				// The crossing's cost is paid (enter plus the unwinding
 				// leave) but the attempt never reaches its compute.
 				fail(t)
 				continue
 			}
-			clock += touch(t)
+			pen := touch(t)
+			clock += pen
+			if phasesOn {
+				t.phases[telemetry.PhaseExec] += pen
+			}
 			if faultsOn && inj.Hit(fault.Poisoned, fcfg.Rates.Poisoned) {
 				// The instance crashes partway into this attempt's
 				// compute: the burned fraction is charged, the progress
 				// is lost.
-				clock += t.computeNs * inj.Frac()
+				burn := t.computeNs * inj.Frac()
+				clock += burn
+				if phasesOn {
+					t.phases[telemetry.PhaseExec] += burn
+				}
 				fail(t)
 				continue
 			}
@@ -604,12 +670,23 @@ func Run(cfg Config) Result {
 				}
 				t.computeNs -= run
 				clock += run
+				if phasesOn {
+					t.phases[telemetry.PhaseExec] += run
+					t.mark = clock
+				}
 				ready[p] = append(ready[p], t)
 				continue
 			}
 			clock += run
 			res.Completed++
 			inFlight--
+			if phasesOn {
+				t.phases[telemetry.PhaseExec] += run
+				for ph, d := range t.phases {
+					res.PhaseTotalsNs[ph] += d
+				}
+				res.PhaseBreakdown = append(res.PhaseBreakdown, t.phases)
+			}
 			if faultsOn {
 				breaker.OnSuccess(clock)
 			}

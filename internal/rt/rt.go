@@ -180,6 +180,15 @@ type Instance struct {
 	// returns re-enter; each entry has a matching exit).
 	Transitions uint64
 
+	// transInCycles/transOutCycles accumulate the simulated cycles the
+	// instance has charged to sandbox entry and exit respectively —
+	// convention charge plus mechanism work (segment-base write, PKRU
+	// switches). They are plain unconditional adds of values already
+	// computed on the transition path, so they cost nothing extra and
+	// stay exact under any scheme or backend.
+	transInCycles  float64
+	transOutCycles float64
+
 	hosts map[string]HostFunc
 }
 
@@ -312,6 +321,7 @@ func pageUp(n uint64) uint64 {
 // the machine registers the compiled code expects.
 func (inst *Instance) transitionIn() {
 	m := inst.Mach
+	c0 := m.Stats.Cycles
 	m.Stats.Cycles += inst.transCycles
 	cfg := inst.Mod.Cfg
 
@@ -344,6 +354,7 @@ func (inst *Instance) transitionIn() {
 		m.PKRU = mem.PkruAllowOnly(pkey)
 	}
 	inst.Transitions++
+	inst.transInCycles += m.Stats.Cycles - c0
 	if telemetry.Enabled() {
 		inst.ctrKind.Inc()
 		inst.ctrScheme.Inc()
@@ -354,11 +365,23 @@ func (inst *Instance) transitionIn() {
 // PKRU restriction.
 func (inst *Instance) transitionOut() {
 	m := inst.Mach
+	c0 := m.Stats.Cycles
 	m.Stats.Cycles += inst.transCycles
 	if inst.place.Slot.Pkey != 0 {
 		m.Stats.Cycles += m.Cost.WRPKRU
 		m.PKRU = mem.PkruAllowAll
 	}
+	inst.transOutCycles += m.Stats.Cycles - c0
+}
+
+// TransitionNs returns the simulated wall-time the instance has spent
+// entering and leaving the sandbox, under its machine's cost model.
+// Together with Stats.Nanos this splits an invocation's simulated time
+// into transition-in, execution, and transition-out shares for phase
+// attribution.
+func (inst *Instance) TransitionNs() (inNs, outNs float64) {
+	c := &inst.Mach.Cost
+	return c.CyclesToNanos(inst.transInCycles), c.CyclesToNanos(inst.transOutCycles)
 }
 
 // Close tears the instance down. Pooled instances recycle their slot

@@ -221,6 +221,15 @@ type Server struct {
 	met     *metrics
 	start   time.Time
 
+	// flight keeps the slowest-N and most-recent-N fully-attributed
+	// requests for /debug/requests. phaseRec publishes serve.phase.*
+	// histograms; it is resolved lazily on the first recorded span so a
+	// server that never enables spans never adds the keys to /metrics.
+	flight    *telemetry.FlightRecorder
+	phaseOnce sync.Once
+	phaseRec  *telemetry.PhaseRecorder
+	traceSeq  atomic.Uint64
+
 	inFlight atomic.Int64
 	rr       atomic.Uint64 // round-robin shard cursor
 
@@ -264,6 +273,7 @@ func New(cfg Config) (*Server, error) {
 		mods:    mods,
 		breaker: newWallBreaker(cfg.Breaker),
 		met:     newMetrics(cfg.Registry),
+		flight:  telemetry.NewFlightRecorder(0),
 		start:   time.Now(),
 	}
 	for i := 0; i < cfg.Shards; i++ {
@@ -303,9 +313,19 @@ type job struct {
 	backend  isolation.Kind
 	scheme   isolation.Scheme
 	batch    uint64
+	traceID  string
+	shard    int
+	start    time.Time // handler entry, the span's zero point
 	admitted time.Time
 	deadline time.Time // zero = no deadline
 	done     chan jobResult
+
+	// span accumulates the request's wall-clock phase attribution.
+	// Ownership follows the request: the handler writes the admission
+	// phase before enqueueing, the worker writes queue through
+	// transition-out, and the handler writes marshal after receiving on
+	// done — each handoff synchronizes through the queue channels.
+	span telemetry.Span
 }
 
 // jobResult is what a worker delivers back to the waiting handler.
@@ -315,6 +335,10 @@ type jobResult struct {
 	checksum uint64
 	simNs    float64
 	worker   int
+	// finished is the worker's last attributed boundary; the handler
+	// charges finished → response-render to PhaseMarshal. Only set when
+	// the job's span (or the tracer) is live.
+	finished time.Time
 }
 
 // BeginDrain flips the server to draining: /healthz turns 503 and new
@@ -350,6 +374,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/invoke/", s.handleInvoke)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/requests", s.handleDebugRequests)
 	return mux
 }
 
@@ -400,17 +425,75 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusServiceUnavailable
 		state = "draining"
 	}
+	// Per-shard saturation detail, so load tooling can tell "one hot
+	// shard" from "healthy" without scraping /metrics. The breaker and
+	// admission limit are server-wide; queue depth is the per-shard
+	// signal.
+	shards := make([]map[string]any, 0, len(s.shards))
+	for _, sh := range s.shards {
+		shards = append(shards, map[string]any{
+			"id":             sh.id,
+			"queue_depth":    len(sh.queue),
+			"queue_capacity": cap(sh.queue),
+		})
+	}
 	writeJSON(w, status, map[string]any{
 		"status":    state,
 		"breaker":   s.breaker.State().String(),
 		"in_flight": s.inFlight.Load(),
+		"shards":    shards,
 		"uptime_s":  time.Since(s.start).Seconds(),
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Surface trace truncation in the snapshot whenever the process
+	// tracer is live, so a scraped metrics dump never pairs with a
+	// silently truncated trace.
+	if telemetry.Trace.Enabled() {
+		s.cfg.Registry.Gauge("trace.dropped").Set(int64(telemetry.Trace.Dropped()))
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(s.cfg.Registry.Snapshot().JSON())
+}
+
+// handleDebugRequests serves the flight recorder: the most recent and
+// slowest fully-attributed requests, newest/slowest first.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	snap := s.flight.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"spans_enabled": telemetry.SpansEnabled(),
+		"seen":          snap.Seen,
+		"recent":        snap.Recent,
+		"slowest":       snap.Slowest,
+	})
+}
+
+// newTraceID returns a server-unique request id: a per-boot prefix from
+// the start time plus a sequence number.
+func (s *Server) newTraceID() string {
+	return fmt.Sprintf("%08x-%06x", uint32(s.start.UnixNano()), s.traceSeq.Add(1))
+}
+
+// recordRequest publishes one finished, span-attributed request to the
+// serve.phase histograms and the flight recorder.
+func (s *Server) recordRequest(j *job, res jobResult, totalNs float64) {
+	s.phaseOnce.Do(func() {
+		s.phaseRec = telemetry.NewPhaseRecorder(s.cfg.Registry, "serve.phase")
+	})
+	s.phaseRec.Record(&j.span)
+	s.flight.Record(telemetry.RequestRecord{
+		TraceID: j.traceID,
+		Kernel:  j.kernel.Name,
+		Backend: string(j.backend),
+		Scheme:  string(j.scheme),
+		Status:  res.status,
+		Shard:   j.shard,
+		Worker:  res.worker,
+		StartNs: float64(j.start.Sub(s.start)),
+		TotalNs: totalNs,
+		Phases:  j.span.PhaseMap(),
+	})
 }
 
 // maxBatch bounds the per-request batch argument: the kernels are
@@ -420,6 +503,9 @@ const maxBatch = 100000
 
 func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	s.met.requests.Inc()
+	start := time.Now()
+	traceID := s.newTraceID()
+	w.Header().Set("X-Trace-Id", traceID)
 
 	name := strings.TrimPrefix(r.URL.Path, "/invoke/")
 	k, ok := s.kernels[name]
@@ -480,17 +566,24 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		backend:  backend,
 		scheme:   scheme,
 		batch:    batch,
+		traceID:  traceID,
+		start:    start,
 		admitted: now,
 		done:     make(chan jobResult, 1),
+		span:     telemetry.NewSpan(),
 	}
 	if s.cfg.RequestTimeout > 0 {
 		j.deadline = now.Add(s.cfg.RequestTimeout)
 	}
+	// Everything from handler entry to admission is the admission
+	// phase; the queue phase starts at j.admitted.
+	j.span.Add(telemetry.PhaseAdmission, float64(now.Sub(start)))
 
 	// Deal to a shard round-robin; a full queue sheds immediately
 	// rather than blocking the handler (open-loop clients keep
 	// arriving regardless).
 	sh := s.shards[s.rr.Add(1)%uint64(len(s.shards))]
+	j.shard = sh.id
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -515,12 +608,22 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 
 	select {
 	case res := <-j.done:
+		// Close out the span: the worker's writes happened-before the
+		// done receive, so charging its last boundary → here to marshal
+		// makes the phases telescope exactly over [start, rec].
+		if j.span.On() {
+			rec := time.Now()
+			if !res.finished.IsZero() {
+				j.span.Add(telemetry.PhaseMarshal, float64(rec.Sub(res.finished)))
+			}
+			s.recordRequest(j, res, float64(rec.Sub(j.start)))
+		}
 		if res.status != http.StatusOK {
 			writeError(w, res.status, res.err)
 			return
 		}
 		wall := time.Since(j.admitted)
-		writeJSON(w, http.StatusOK, map[string]any{
+		payload := map[string]any{
 			"kernel":   k.Name,
 			"backend":  string(backend),
 			"scheme":   string(scheme),
@@ -529,10 +632,20 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 			"sim_us":   res.simNs / 1e3,
 			"wall_us":  float64(wall.Nanoseconds()) / 1e3,
 			"worker":   res.worker,
-		})
+			"trace_id": j.traceID,
+		}
+		if j.span.On() {
+			phases := make(map[string]float64, telemetry.NumPhases)
+			for name, ns := range j.span.PhaseMap() {
+				phases[name] = ns / 1e3
+			}
+			payload["phase_us"] = phases
+		}
+		writeJSON(w, http.StatusOK, payload)
 	case <-r.Context().Done():
 		// Client gone; the worker still completes and accounts the job
-		// (done is buffered, so it never blocks).
+		// (done is buffered, so it never blocks). Nothing is recorded:
+		// the span's final phases never materialize.
 		writeError(w, http.StatusServiceUnavailable, "client cancelled")
 	}
 }

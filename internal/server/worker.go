@@ -10,6 +10,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/rt"
 	"repro/internal/sfi"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -112,15 +113,25 @@ func (w *worker) serve(j *job) {
 	defer func() {
 		w.s.met.inFlight.Set(w.s.inFlight.Add(-1))
 	}()
+	// obs gates all wall-clock phase bookkeeping below: with spans and
+	// tracing both off, serving pays these two loads and nothing else.
+	obs := j.span.On() || telemetry.Trace.Enabled()
+	var deq time.Time
+	if obs {
+		deq = time.Now()
+		j.span.Add(telemetry.PhaseQueue, float64(deq.Sub(j.admitted)))
+		traceSpan("queue", j.shard, j.admitted, deq)
+	}
 	if !j.deadline.IsZero() && time.Now().After(j.deadline) {
 		w.s.met.timeouts.Inc()
 		if w.s.breaker.OnFailure() {
 			w.s.met.breakerOpens.Inc()
 		}
-		j.done <- jobResult{status: http.StatusGatewayTimeout, err: "deadline exceeded before execution"}
+		j.done <- jobResult{status: http.StatusGatewayTimeout,
+			err: "deadline exceeded before execution", finished: deq}
 		return
 	}
-	res := w.execute(j)
+	res := w.execute(j, obs, deq)
 	if res.status == http.StatusOK {
 		w.s.met.completed.Inc()
 		w.s.met.latency.Observe(float64(time.Since(j.admitted)))
@@ -134,20 +145,34 @@ func (w *worker) serve(j *job) {
 	j.done <- res
 }
 
-// execute runs one request end to end on a fresh placed instance.
-func (w *worker) execute(j *job) jobResult {
+// execute runs one request end to end on a fresh placed instance. When
+// obs is set it attributes the wall time to phases on j.span (and the
+// tracer), keeping the phase boundaries telescoped: every return path
+// sets finished to its last attributed instant, so the handler's
+// marshal phase picks up exactly where execution left off. deq is the
+// dequeue instant the placement phase starts from.
+func (w *worker) execute(j *job, obs bool, deq time.Time) jobResult {
 	mod := w.s.mods[j.kernel.Name]
+	fail := func(status int, msg string) jobResult {
+		res := jobResult{status: status, err: msg, worker: w.id}
+		if obs {
+			// The failed setup work is still placement time.
+			res.finished = time.Now()
+			j.span.Add(telemetry.PhasePlacement, float64(res.finished.Sub(deq)))
+		}
+		return res
+	}
 	b, err := w.backend(j.backend, j.scheme)
 	if err != nil {
-		return jobResult{status: http.StatusInternalServerError, err: err.Error()}
+		return fail(http.StatusInternalServerError, err.Error())
 	}
 	need := uint64(mod.IR.MemMin) * ir.PageSize
 	slot, err := b.Allocate(need)
 	if err != nil {
 		// Slot exhaustion: the serving-layer analogue of the
 		// simulator's SlotExhausted fault class.
-		return jobResult{status: http.StatusServiceUnavailable,
-			err: fmt.Sprintf("no free %s slot: %v", j.backend, err)}
+		return fail(http.StatusServiceUnavailable,
+			fmt.Sprintf("no free %s slot: %v", j.backend, err))
 	}
 	inst, err := rt.NewInstance(mod, rt.InstanceOptions{
 		FSGSBASE: true,
@@ -155,23 +180,74 @@ func (w *worker) execute(j *job) jobResult {
 	})
 	if err != nil {
 		_ = b.Recycle(slot)
-		return jobResult{status: http.StatusInternalServerError,
-			err: fmt.Sprintf("instantiating: %v", err)}
+		return fail(http.StatusInternalServerError,
+			fmt.Sprintf("instantiating: %v", err))
 	}
 	defer inst.Close()
+	var placed time.Time
+	if obs {
+		placed = time.Now()
+		j.span.Add(telemetry.PhasePlacement, float64(placed.Sub(deq)))
+		traceSpan("placement", j.shard, deq, placed)
+	}
 	out, err := inst.Invoke(j.kernel.Entry, j.batch)
+	res := jobResult{worker: w.id}
+	if obs {
+		invoked := time.Now()
+		res.finished = invoked
+		w.attributeInvoke(j, inst, placed, invoked)
+	}
 	if err != nil {
-		return jobResult{status: http.StatusInternalServerError,
-			err: fmt.Sprintf("invoking %s: %v", j.kernel.Name, err)}
+		res.status = http.StatusInternalServerError
+		res.err = fmt.Sprintf("invoking %s: %v", j.kernel.Name, err)
+		return res
 	}
 	var sum uint64
 	if len(out) > 0 {
 		sum = out[0]
 	}
-	return jobResult{
-		status:   http.StatusOK,
-		checksum: sum,
-		simNs:    inst.Mach.Stats.Nanos(&inst.Mach.Cost),
-		worker:   w.id,
+	res.status = http.StatusOK
+	res.checksum = sum
+	res.simNs = inst.Mach.Stats.Nanos(&inst.Mach.Cost)
+	return res
+}
+
+// attributeInvoke splits the wall time of one Invoke into transition-in,
+// exec, and transition-out shares, in proportion to the instance's
+// simulated cycle accounting (the only ground truth for where inside
+// the crossing the time went), and emits the matching tracer spans on
+// the job's shard track.
+func (w *worker) attributeInvoke(j *job, inst *rt.Instance, placed, invoked time.Time) {
+	wall := float64(invoked.Sub(placed))
+	if wall <= 0 {
+		return
 	}
+	inNs, outNs := inst.TransitionNs()
+	simNs := inst.Mach.Stats.Nanos(&inst.Mach.Cost)
+	var wIn, wOut float64
+	if simNs > 0 && inNs+outNs <= simNs {
+		wIn = wall * (inNs / simNs)
+		wOut = wall * (outNs / simNs)
+	}
+	wExec := wall - wIn - wOut
+	j.span.Add(telemetry.PhaseTransitionIn, wIn)
+	j.span.Add(telemetry.PhaseExec, wExec)
+	j.span.Add(telemetry.PhaseTransitionOut, wOut)
+	if telemetry.Trace.Enabled() {
+		tIn := placed.Add(time.Duration(wIn))
+		tExec := tIn.Add(time.Duration(wExec))
+		traceSpan("transition_in", j.shard, placed, tIn)
+		traceSpan("exec", j.shard, tIn, tExec)
+		traceSpan("transition_out", j.shard, tExec, invoked)
+	}
+}
+
+// traceSpan emits one wall-clock phase span on the shard's track of the
+// process tracer (one track per shard, cat "serve").
+func traceSpan(name string, shard int, start, end time.Time) {
+	if !telemetry.Trace.Enabled() || !end.After(start) {
+		return
+	}
+	ts := telemetry.Trace.Now() - float64(time.Since(start))
+	telemetry.Trace.Span(name, "serve", telemetry.PidWall, shard, ts, float64(end.Sub(start)))
 }

@@ -70,6 +70,12 @@ func (c *CLI) Finish() error {
 		fmt.Fprintf(os.Stderr, "[wrote %s]\n", c.Trace)
 	}
 	if c.Metrics != "" {
+		// A trace-enabled run's snapshot records how much of the trace
+		// survived the ring buffer, so a truncated trace is never read
+		// as complete next to a clean-looking metrics dump.
+		if c.Trace != "" {
+			Default.Gauge("trace.dropped").Set(int64(Trace.Dropped()))
+		}
 		data := Default.Snapshot().JSON()
 		if c.Metrics == "-" {
 			if _, err := os.Stdout.Write(data); err != nil {

@@ -1,0 +1,81 @@
+package repro
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/rt"
+	"repro/internal/sfi"
+	"repro/internal/telemetry"
+	"repro/internal/workloads"
+)
+
+// TestSpanOverheadBounded is the span-bench smoke (`make span-bench`):
+// it times fused-tier kernel invocations with all observability off and
+// again with telemetry, spans, and the tracer fully armed, and fails if
+// arming costs more than 3% wall time. The kernel hot path only ever
+// consults the span gates at transition boundaries — one predictable
+// branch per crossing — so the two runs should be indistinguishable up
+// to scheduler noise. Wall-clock measurement, so gated behind
+// REPRO_SPANBENCH=1 like the fuse-bench.
+func TestSpanOverheadBounded(t *testing.T) {
+	if os.Getenv("REPRO_SPANBENCH") == "" {
+		t.Skip("set REPRO_SPANBENCH=1 to run the span-overhead smoke benchmark")
+	}
+	k, err := workloads.Sightglass().Find("seqhash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := rt.CompileModule(k.Build(false), sfi.DefaultConfig(sfi.ModeSegue))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best of three timed batches per configuration, to shrug off
+	// scheduler noise in CI (same shape as TestFusedTierNotSlower).
+	run := func() time.Duration {
+		inst, err := rt.NewInstance(mod, rt.InstanceOptions{FSGSBASE: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst.Mach.Tier = cpu.TierFused
+		if _, err := inst.Invoke("run", 10000); err != nil { // warmup
+			t.Fatal(err)
+		}
+		best := time.Duration(1<<63 - 1)
+		for r := 0; r < 3; r++ {
+			start := time.Now()
+			for i := 0; i < 5; i++ {
+				if _, err := inst.Invoke("run", 10000); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	telemetry.SetEnabled(false)
+	telemetry.SetSpansEnabled(false)
+	disabled := run()
+
+	telemetry.SetEnabled(true)
+	telemetry.SetSpansEnabled(true)
+	telemetry.Trace.Enable()
+	defer func() {
+		telemetry.Trace.Disable()
+		telemetry.SetSpansEnabled(false)
+		telemetry.SetEnabled(false)
+	}()
+	enabled := run()
+
+	t.Logf("seqhash fused: spans off %v, spans on %v (%.4fx)",
+		disabled, enabled, enabled.Seconds()/disabled.Seconds())
+	if enabled.Seconds() > disabled.Seconds()*1.03 {
+		t.Fatalf("span machinery costs >3%% on the kernel hot path: off %v, on %v",
+			disabled, enabled)
+	}
+}

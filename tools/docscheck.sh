@@ -36,7 +36,7 @@ done
 # --- 3. advertised ids and flags exist ----------------------------------
 go build ./... || err "go build failed"
 ids=$(go run ./cmd/benchtab -list)
-for id in transition transitions scaling faultsweep backend-matrix; do
+for id in transition transitions scaling faultsweep backend-matrix attribution; do
     echo "$ids" | grep -q "^$id " || err "experiment id $id (documented) not in benchtab -list"
 done
 flags=$(go run ./cmd/benchtab -help 2>&1 || true)
@@ -44,11 +44,11 @@ for f in tier scheme history compare results metrics trace pprof j; do
     echo "$flags" | grep -q -- "-$f" || err "benchtab flag -$f (documented) missing"
 done
 flags=$(go run ./cmd/faassim -help 2>&1 || true)
-for f in faultrate faultseed timeout retries shed backend scheme coldstart latency; do
+for f in faultrate faultseed timeout retries shed backend scheme coldstart latency phases; do
     echo "$flags" | grep -q -- "-$f" || err "faassim flag -$f (documented) missing"
 done
 flags=$(go run ./cmd/faasd -help 2>&1 || true)
-for f in addr addrfile kernels backend scheme shards workers queue maxinflight slots timeout breakerfails tier; do
+for f in addr addrfile kernels backend scheme shards workers queue maxinflight slots timeout breakerfails tier spans trace; do
     echo "$flags" | grep -q -- "-$f" || err "faasd flag -$f (documented) missing"
 done
 flags=$(go run ./cmd/faasload -help 2>&1 || true)
@@ -75,7 +75,10 @@ smoke "faassim (mte cold)"    go run ./cmd/faassim -handler regex-filtering -pro
                                   -backend mte -coldstart -faultrate 0.02 -retries 3
 smoke "faassim (zerocost)"    go run ./cmd/faassim -handler regex-filtering -procs 2 -seconds 0.2 \
                                   -scheme zerocost
+smoke "faassim (phases)"      go run ./cmd/faassim -handler regex-filtering -procs 2 -seconds 0.2 \
+                                  -phases
 smoke "benchtab -scheme"      go run ./cmd/benchtab -scheme zerocost -o /dev/null transition
+smoke "benchtab attribution"  go run ./cmd/benchtab -o /dev/null attribution
 smoke "quickstart example"    go run ./examples/quickstart
 
 # An unknown scheme must be rejected with a usage error, not silently

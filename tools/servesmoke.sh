@@ -1,7 +1,8 @@
 #!/bin/sh
 # Serve smoke test: boot faasd on an ephemeral port, prove the serving
 # path end to end — /healthz answers, a faasload burst completes with
-# zero errors, /metrics reports the request count — then SIGTERM and
+# zero errors, /metrics reports the request count, /debug/requests
+# shows a well-formed phase-attributed request — then SIGTERM and
 # require a clean drain (exit 0).
 #
 # Run from the repository root: sh tools/servesmoke.sh
@@ -52,6 +53,27 @@ served = m["counters"]["server.requests"]
 assert served >= 24, m["counters"]
 assert m["counters"]["server.completed"] >= 24, m["counters"]
 print(f"servesmoke: /metrics reports {served} requests")
+EOF
+
+# The flight recorder must hold well-formed attributed requests: a
+# non-empty trace id, non-empty phases, and phase durations that sum to
+# the recorded total (phase-sum conservation over the wire).
+python3 - "$addr" <<'EOF'
+import json, sys, urllib.request
+addr = sys.argv[1]
+d = json.load(urllib.request.urlopen(f"http://{addr}/debug/requests"))
+assert d["spans_enabled"] is True, d
+assert d["seen"] >= 24, d["seen"]
+reqs = d["recent"] + d["slowest"]
+assert reqs, "no attributed requests in the flight recorder"
+for r in reqs:
+    assert r["trace_id"], r
+    assert r["kernel"], r
+    assert r["phases"], r
+    total = r["total_ns"]
+    s = sum(r["phases"].values())
+    assert abs(s - total) <= 1e-6 * total + 1, (s, total, r)
+print(f"servesmoke: /debug/requests holds {len(reqs)} attributed requests, phases conserve")
 EOF
 
 # Graceful drain: SIGTERM, then the process must exit 0 by itself.

@@ -1,0 +1,84 @@
+#!/bin/sh
+# Trace smoke test: boot faasd with -trace, drive a request burst,
+# SIGTERM-drain, then validate the emitted Chrome trace-event file —
+# it must parse as JSON and contain complete ('X') serving phase spans
+# (queue, exec, transitions) on the wall-time track, one tid per
+# dispatcher shard.
+#
+# Run from the repository root: sh tools/tracesmoke.sh
+set -eu
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/faasd" ./cmd/faasd
+go build -o "$tmp/faasload" ./cmd/faasload
+
+"$tmp/faasd" -addr 127.0.0.1:0 -addrfile "$tmp/addr" -shards 2 \
+	-trace "$tmp/serve.trace.json" >"$tmp/faasd.log" 2>&1 &
+pid=$!
+
+i=0
+while [ ! -s "$tmp/addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "tracesmoke: faasd never published its address" >&2
+		cat "$tmp/faasd.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+addr=$(cat "$tmp/addr")
+echo "tracesmoke: faasd on $addr"
+
+"$tmp/faasload" -url "http://$addr" -smoke -count 16
+
+# The trace is written on drain, so SIGTERM first and wait for exit.
+kill -TERM "$pid"
+i=0
+while kill -0 "$pid" 2>/dev/null; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "tracesmoke: faasd did not drain within 10s" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+if ! wait "$pid"; then
+	echo "tracesmoke: faasd exited non-zero after SIGTERM" >&2
+	cat "$tmp/faasd.log" >&2
+	exit 1
+fi
+pid=""
+[ -s "$tmp/serve.trace.json" ] || {
+	echo "tracesmoke: no trace file written" >&2
+	cat "$tmp/faasd.log" >&2
+	exit 1
+}
+
+python3 - "$tmp/serve.trace.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+evs = trace["traceEvents"]
+# Complete spans in the "serve" category live on the wall-time track
+# (pid 2); tid is the dispatcher shard that owned the request.
+spans = [e for e in evs if e.get("cat") == "serve" and e["ph"] == "X"]
+assert spans, "no serve-category phase spans in the trace"
+names = {e["name"] for e in spans}
+want = {"queue", "exec", "transition_in", "transition_out"}
+missing = want - names
+assert not missing, f"phase spans missing from the trace: {missing}"
+for e in spans:
+    assert e["pid"] == 2, e          # wall-time track
+    assert 0 <= e["tid"] < 2, e      # one track per shard (-shards 2)
+    assert e.get("dur", 0) >= 0, e   # "dur" is omitted when zero
+print(f"tracesmoke: {len(spans)} serve phase spans across phases {sorted(names)}")
+EOF
+
+echo "tracesmoke: ok"
