@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet ci docscheck bench-smoke bench results benchdiff benchgate fuse-bench serve-smoke serve-bench trace-smoke span-bench
+.PHONY: build test race vet ci docscheck bench-smoke bench results benchdiff benchgate fuse-bench serve-smoke serve-bench trace-smoke span-bench cluster-smoke cluster-bench
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,7 @@ ci:
 	$(GO) test -race ./...
 	sh tools/servesmoke.sh
 	sh tools/tracesmoke.sh
+	sh tools/clustersmoke.sh
 	$(MAKE) fuse-bench
 	$(MAKE) span-bench
 	$(MAKE) benchgate
@@ -92,3 +93,18 @@ span-bench:
 # SERVE_results.json (RAMP/SECONDS_PER_STEP/KERNEL/OUT env overrides).
 serve-bench:
 	sh tools/servebench.sh
+
+# Cluster smoke: faasrouter supervising three faasd workers — all
+# healthy, a burst through the router with zero routing-layer 5xx,
+# autoscale grow decisions visible in cluster.autoscale.* counters,
+# keep-warm hits across the cluster, clean SIGTERM drain.
+cluster-smoke:
+	sh tools/clustersmoke.sh
+
+# Cluster benchmark: the same seeded bursty trace per isolation backend
+# through a supervised cluster; records per-backend trace steps and the
+# warm-instance density table (colorguard vs multiproc) as the
+# "cluster" section of SERVE_results.json (WORKERS/RPS/PEAK/SEED/OUT
+# env overrides).
+cluster-bench:
+	sh tools/clusterbench.sh

@@ -58,6 +58,7 @@ func main() {
 	queue := flag.Int("queue", 0, "bounded queue depth per shard (default 64)")
 	maxInFlight := flag.Int("maxinflight", 0, "admission-control limit on in-flight requests (default shards*queue)")
 	slots := flag.Int("slots", 0, "instance slots per worker backend (default 4)")
+	warm := flag.Int("warm", 0, "initial keep-warm instances per worker backend (0 = default 2, -1 = disable; retargetable at runtime via POST /control/warm)")
 	timeout := flag.Duration("timeout", 0, "per-request deadline (0 = none)")
 	breakerFails := flag.Int("breakerfails", 32, "consecutive failures that open the circuit breaker")
 	breakerOpen := flag.Duration("breakeropen", 2*time.Second, "how long an open breaker rejects before probing")
@@ -80,7 +81,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := validate(*shards, *workers, *queue, *maxInFlight, *slots, *timeout, *breakerFails, *breakerOpen, *drainTimeout); err != nil {
+	if err := validate(*shards, *workers, *queue, *maxInFlight, *slots, *warm, *timeout, *breakerFails, *breakerOpen, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "faasd:", err)
 		os.Exit(2)
 	}
@@ -98,6 +99,7 @@ func main() {
 		QueueDepth:      *queue,
 		MaxInFlight:     *maxInFlight,
 		SlotsPerWorker:  *slots,
+		WarmPerWorker:   *warm,
 		RequestTimeout:  *timeout,
 		Breaker: fault.BreakerConfig{
 			FailureThreshold:  *breakerFails,
@@ -194,7 +196,7 @@ func writeTrace(path string) {
 // validate rejects nonsensical knob settings before any work starts.
 // Zero means "use the default" for the sizing knobs, so only negatives
 // (and zero where a default does not exist) are errors.
-func validate(shards, workers, queue, maxInFlight, slots int, timeout time.Duration, breakerFails int, breakerOpen, drainTimeout time.Duration) error {
+func validate(shards, workers, queue, maxInFlight, slots, warm int, timeout time.Duration, breakerFails int, breakerOpen, drainTimeout time.Duration) error {
 	switch {
 	case shards < 0:
 		return fmt.Errorf("-shards %d: must be >= 1 (or 0 for the default)", shards)
@@ -206,6 +208,8 @@ func validate(shards, workers, queue, maxInFlight, slots int, timeout time.Durat
 		return fmt.Errorf("-maxinflight %d: must be >= 1 (or 0 for the default)", maxInFlight)
 	case slots < 0:
 		return fmt.Errorf("-slots %d: must be >= 1 (or 0 for the default)", slots)
+	case warm < -1:
+		return fmt.Errorf("-warm %d: must be >= 0 (or -1 to disable keep-warm)", warm)
 	case timeout < 0:
 		return fmt.Errorf("-timeout %v: must be >= 0", timeout)
 	case breakerFails < 1:

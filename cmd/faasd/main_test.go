@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// flags mirrors the validated faasd knobs; defaults() matches the flag
+// defaults so each case perturbs one knob.
+type flags struct {
+	shards, workers, queue   int
+	maxInFlight, slots, warm int
+	timeout                  time.Duration
+	breakerFails             int
+	breakerOpen, drainExpiry time.Duration
+}
+
+func defaults() flags {
+	return flags{
+		breakerFails: 32,
+		breakerOpen:  2 * time.Second,
+		drainExpiry:  10 * time.Second,
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*flags)
+		wantErr string // substring of the error, "" = valid
+	}{
+		{"defaults", func(f *flags) {}, ""},
+		{"explicit sizing", func(f *flags) { f.shards = 4; f.workers = 2; f.queue = 128; f.slots = 8 }, ""},
+		{"negative shards", func(f *flags) { f.shards = -1 }, "-shards"},
+		{"negative workers", func(f *flags) { f.workers = -2 }, "-workers"},
+		{"negative queue", func(f *flags) { f.queue = -1 }, "-queue"},
+		{"negative maxinflight", func(f *flags) { f.maxInFlight = -5 }, "-maxinflight"},
+		{"negative slots", func(f *flags) { f.slots = -1 }, "-slots"},
+		{"warm disabled", func(f *flags) { f.warm = -1 }, ""},
+		{"warm below disable", func(f *flags) { f.warm = -2 }, "-warm"},
+		{"negative timeout", func(f *flags) { f.timeout = -time.Second }, "-timeout"},
+		{"zero timeout ok", func(f *flags) { f.timeout = 0 }, ""},
+		{"zero breakerfails", func(f *flags) { f.breakerFails = 0 }, "-breakerfails"},
+		{"zero breakeropen", func(f *flags) { f.breakerOpen = 0 }, "-breakeropen"},
+		{"zero draintimeout", func(f *flags) { f.drainExpiry = 0 }, "-draintimeout"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := defaults()
+			c.mutate(&f)
+			err := validate(f.shards, f.workers, f.queue, f.maxInFlight, f.slots, f.warm,
+				f.timeout, f.breakerFails, f.breakerOpen, f.drainExpiry)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate rejected valid flags: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validate accepted bad flags, want error mentioning %q", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not name the offending flag %q", err, c.wantErr)
+			}
+		})
+	}
+}

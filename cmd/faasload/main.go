@@ -11,11 +11,19 @@
 //	faasload -url ... -rps 500 -seconds 5 -kernel regex-filtering
 //	faasload -url ... -ramp 100,200,400,800 -json SERVE_results.json
 //	faasload -url ... -smoke                            # CI: small burst, any failure is fatal
+//	faasload -url ... -shape diurnal -rps 50 -peak 400 -period 8s
+//	faasload -url ... -shape bursty -mix "regex-filtering:8,html-templating:2" -alpha 1.2 -nmax 5000
 //
 // -ramp runs one step per listed rate and emits the per-step trajectory
 // (throughput and percentiles per target RPS); -json writes it as JSON
 // ("-" = stdout). -smoke sends a small closed-loop burst and exits 1
 // unless every request succeeds — the serve smoke test in CI.
+//
+// -shape switches to trace-driven load: Poisson arrivals whose rate
+// follows a diurnal sinusoid or a bursty base/peak schedule
+// (internal/cluster), optionally with a weighted kernel mix (-mix) and
+// heavy-tailed bounded-Pareto batch sizes (-alpha/-nmax). Everything is
+// drawn from -seed, so a trace replays identically.
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/stats"
 )
 
@@ -41,6 +50,12 @@ import (
 // cheaper transition scheme shows up in sim_p50 even when wall time is
 // noise-bound.
 type stepResult struct {
+	// Shape and Seed identify a trace-driven step ("diurnal" or
+	// "bursty", with the RNG seed that replays it). Absent for
+	// fixed-rate and smoke steps.
+	Shape string `json:"shape,omitempty"`
+	Seed  uint64 `json:"seed,omitempty"`
+
 	TargetRPS     int     `json:"target_rps"`
 	Offered       int     `json:"offered"`
 	OK            int     `json:"ok"`
@@ -81,34 +96,49 @@ func main() {
 	smoke := flag.Bool("smoke", false, "closed-loop burst of -count requests; exit 1 on any failure")
 	count := flag.Int("count", 20, "requests in a -smoke burst")
 	strict := flag.Bool("strict", false, "exit 1 if any request was shed or errored")
+	shape := flag.String("shape", "", "trace-driven arrival shape: diurnal or bursty (empty = fixed-rate open loop)")
+	peak := flag.Float64("peak", 0, "peak arrival rate for -shape, req/s (0 = 4x -rps)")
+	period := flag.Duration("period", 8*time.Second, "full cycle length for -shape diurnal")
+	burstLen := flag.Duration("burstlen", 500*time.Millisecond, "burst duration for -shape bursty")
+	burstGap := flag.Duration("burstgap", 2*time.Second, "mean gap between burst starts for -shape bursty")
+	mixFlag := flag.String("mix", "", `weighted kernel mix "k1:w,k2:w" replacing -kernel for trace-driven load`)
+	alpha := flag.Float64("alpha", 0, "bounded-Pareto tail index for per-request batch sizes (0 = fixed -n)")
+	nmax := flag.Int("nmax", 0, "largest heavy-tailed batch size (required with -alpha; the floor is -n, default 1)")
+	seed := flag.Uint64("seed", 1, "RNG seed for trace-driven arrivals, kernel mix, and batch draws")
 	flag.Parse()
 
-	rates, err := validate(*url, *kernel, *batch, *rps, *seconds, *ramp, *count)
+	rates, mix, err := validate(*url, *kernel, *batch, *rps, *seconds, *ramp, *count,
+		*shape, *peak, *period, *burstLen, *burstGap, *mixFlag, *alpha, *nmax)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "faasload:", err)
 		os.Exit(2)
 	}
 
-	path := "/invoke/" + *kernel
-	sep := "?"
-	if *backend != "" {
-		path += sep + "backend=" + *backend
-		sep = "&"
-	}
-	if *scheme != "" {
-		path += sep + "scheme=" + *scheme
-		sep = "&"
-	}
-	if *batch > 0 {
-		path += sep + "n=" + strconv.Itoa(*batch)
-	}
-	target := strings.TrimSuffix(*url, "/") + path
+	base := strings.TrimSuffix(*url, "/")
+	target := buildTarget(base, *kernel, *backend, *scheme, *batch)
 	client := &http.Client{Timeout: 10 * time.Second}
 
 	var steps []stepResult
-	if *smoke {
+	switch {
+	case *smoke:
 		steps = []stepResult{burst(client, target, *count)}
-	} else {
+	case *shape != "":
+		if *peak == 0 {
+			*peak = 4 * float64(*rps)
+		}
+		tl := traceLoad{
+			base: base, kernel: *kernel, backend: *backend, scheme: *scheme,
+			batch: *batch, mix: mix, alpha: *alpha, nmax: *nmax, seed: *seed,
+		}
+		switch *shape {
+		case "diurnal":
+			tl.shape = cluster.DiurnalShape{Base: float64(*rps),
+				Amplitude: *peak - float64(*rps), Period: *period}
+		case "bursty":
+			tl.shape = cluster.NewBurstyShape(float64(*rps), *peak, *burstLen, *burstGap, *seed)
+		}
+		steps = []stepResult{tl.run(client, *shape, *seconds)}
+	default:
 		for _, r := range rates {
 			steps = append(steps, openLoop(client, target, r, *seconds))
 		}
@@ -137,7 +167,14 @@ func main() {
 		}
 	}
 	if *jsonOut != "" {
-		data, _ := json.MarshalIndent(map[string]any{"kernel": *kernel, "steps": steps}, "", "  ")
+		doc := map[string]any{"kernel": *kernel, "steps": steps}
+		if *shape != "" {
+			doc["shape"] = *shape
+		}
+		if *mixFlag != "" {
+			doc["mix"] = *mixFlag
+		}
+		data, _ := json.MarshalIndent(doc, "", "  ")
 		data = append(data, '\n')
 		if *jsonOut == "-" {
 			os.Stdout.Write(data)
@@ -155,20 +192,52 @@ func main() {
 }
 
 // validate rejects out-of-range flags with exit code 2 (usage error).
-func validate(url, kernel string, batch, rps int, seconds float64, ramp string, count int) ([]int, error) {
+// It returns the resolved ramp steps and, when -mix is set, the parsed
+// kernel mix.
+func validate(url, kernel string, batch, rps int, seconds float64, ramp string, count int,
+	shape string, peak float64, period, burstLen, burstGap time.Duration,
+	mixSpec string, alpha float64, nmax int) ([]int, *cluster.Mix, error) {
 	switch {
 	case url == "":
-		return nil, fmt.Errorf("-url is required (e.g. -url http://127.0.0.1:8080)")
+		return nil, nil, fmt.Errorf("-url is required (e.g. -url http://127.0.0.1:8080)")
 	case kernel == "":
-		return nil, fmt.Errorf("-kernel must not be empty")
+		return nil, nil, fmt.Errorf("-kernel must not be empty")
 	case batch < 0:
-		return nil, fmt.Errorf("-n %d: must be >= 1 (or 0 for the server default)", batch)
+		return nil, nil, fmt.Errorf("-n %d: must be >= 1 (or 0 for the server default)", batch)
 	case rps < 1:
-		return nil, fmt.Errorf("-rps %d: must be >= 1", rps)
+		return nil, nil, fmt.Errorf("-rps %d: must be >= 1", rps)
 	case seconds <= 0:
-		return nil, fmt.Errorf("-seconds %g: must be positive", seconds)
+		return nil, nil, fmt.Errorf("-seconds %g: must be positive", seconds)
 	case count < 1:
-		return nil, fmt.Errorf("-count %d: must be >= 1", count)
+		return nil, nil, fmt.Errorf("-count %d: must be >= 1", count)
+	case shape != "" && shape != "diurnal" && shape != "bursty":
+		return nil, nil, fmt.Errorf("-shape %q: must be diurnal or bursty (or empty for fixed-rate)", shape)
+	case shape != "" && ramp != "":
+		return nil, nil, fmt.Errorf("-shape and -ramp are mutually exclusive (-rps is the trace's base rate)")
+	case peak < 0:
+		return nil, nil, fmt.Errorf("-peak %g: must be >= 0", peak)
+	case shape != "" && peak > 0 && peak < float64(rps):
+		return nil, nil, fmt.Errorf("-peak %g: must be >= the base rate -rps %d", peak, rps)
+	case shape == "diurnal" && period <= 0:
+		return nil, nil, fmt.Errorf("-period %v: must be positive", period)
+	case shape == "bursty" && burstLen <= 0:
+		return nil, nil, fmt.Errorf("-burstlen %v: must be positive", burstLen)
+	case shape == "bursty" && burstGap <= 0:
+		return nil, nil, fmt.Errorf("-burstgap %v: must be positive", burstGap)
+	case alpha < 0:
+		return nil, nil, fmt.Errorf("-alpha %g: must be > 0 (or 0 to disable heavy-tailed batches)", alpha)
+	case alpha > 0 && nmax < 2:
+		return nil, nil, fmt.Errorf("-nmax %d: must be >= 2 with -alpha", nmax)
+	case alpha > 0 && batch > 0 && nmax <= batch:
+		return nil, nil, fmt.Errorf("-nmax %d: must exceed the batch floor -n %d", nmax, batch)
+	}
+	var mix *cluster.Mix
+	if mixSpec != "" {
+		m, err := cluster.ParseMix(mixSpec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("-mix: %v", err)
+		}
+		mix = m
 	}
 	rates := []int{rps}
 	if ramp != "" {
@@ -176,12 +245,86 @@ func validate(url, kernel string, batch, rps int, seconds float64, ramp string, 
 		for _, f := range strings.Split(ramp, ",") {
 			r, err := strconv.Atoi(strings.TrimSpace(f))
 			if err != nil || r < 1 {
-				return nil, fmt.Errorf("-ramp %q: each step must be a positive integer", ramp)
+				return nil, nil, fmt.Errorf("-ramp %q: each step must be a positive integer", ramp)
 			}
 			rates = append(rates, r)
 		}
 	}
-	return rates, nil
+	return rates, mix, nil
+}
+
+// buildTarget assembles one invoke URL from the flag parts.
+func buildTarget(base, kernel, backend, scheme string, batch int) string {
+	path := "/invoke/" + kernel
+	sep := "?"
+	if backend != "" {
+		path += sep + "backend=" + backend
+		sep = "&"
+	}
+	if scheme != "" {
+		path += sep + "scheme=" + scheme
+		sep = "&"
+	}
+	if batch > 0 {
+		path += sep + "n=" + strconv.Itoa(batch)
+	}
+	return base + path
+}
+
+// traceLoad drives one trace-driven step: Poisson arrivals under a
+// cluster.Shape, per-request kernel drawn from the mix, per-request
+// batch drawn bounded-Pareto. All draws come from seeded RNGs, so the
+// offered trace is a pure function of the flags.
+type traceLoad struct {
+	base, kernel    string
+	backend, scheme string
+	batch           int
+	shape           cluster.Shape
+	mix             *cluster.Mix
+	alpha           float64
+	nmax            int
+	seed            uint64
+}
+
+func (tl traceLoad) run(client *http.Client, shapeName string, seconds float64) stepResult {
+	gen := cluster.NewArrivalGen(tl.shape, tl.seed)
+	drawRNG := stats.NewRNG(tl.seed ^ 0x9e3779b97f4a7c15) // decouple draws from arrivals
+	dur := time.Duration(seconds * float64(time.Second))
+	var (
+		c       collector
+		wg      sync.WaitGroup
+		offered int
+	)
+	start := time.Now()
+	for {
+		gen.Next()
+		if gen.Elapsed() > dur {
+			break
+		}
+		kernel := tl.kernel
+		if tl.mix != nil {
+			kernel = tl.mix.Pick(drawRNG)
+		}
+		batch := tl.batch
+		if tl.alpha > 0 {
+			floor := uint64(1)
+			if tl.batch > 0 {
+				floor = uint64(tl.batch)
+			}
+			batch = int(cluster.BoundedPareto(drawRNG, tl.alpha, floor, uint64(tl.nmax)))
+		}
+		if d := time.Until(start.Add(gen.Elapsed())); d > 0 {
+			time.Sleep(d)
+		}
+		offered++
+		wg.Add(1)
+		go fire(client, buildTarget(tl.base, kernel, tl.backend, tl.scheme, batch), &c, &wg)
+	}
+	wg.Wait()
+	st := c.result(0, offered, time.Since(start))
+	st.Shape = shapeName
+	st.Seed = tl.seed
+	return st
 }
 
 // collector accumulates per-request outcomes across goroutines.

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// flags mirrors the validated faasload knobs; defaults() matches the
+// flag defaults so each case perturbs one knob.
+type flags struct {
+	url, kernel, ramp  string
+	batch, rps, count  int
+	seconds            float64
+	shape, mix         string
+	peak, alpha        float64
+	period             time.Duration
+	burstLen, burstGap time.Duration
+	nmax               int
+}
+
+func defaults() flags {
+	return flags{
+		url: "http://127.0.0.1:8080", kernel: "regex-filtering",
+		rps: 200, seconds: 2, count: 20,
+		period: 8 * time.Second, burstLen: 500 * time.Millisecond, burstGap: 2 * time.Second,
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*flags)
+		wantErr string // substring of the error, "" = valid
+	}{
+		{"defaults", func(f *flags) {}, ""},
+		{"missing url", func(f *flags) { f.url = "" }, "-url"},
+		{"empty kernel", func(f *flags) { f.kernel = "" }, "-kernel"},
+		{"negative batch", func(f *flags) { f.batch = -1 }, "-n "},
+		{"zero rps", func(f *flags) { f.rps = 0 }, "-rps"},
+		{"zero seconds", func(f *flags) { f.seconds = 0 }, "-seconds"},
+		{"zero count", func(f *flags) { f.count = 0 }, "-count"},
+		{"good ramp", func(f *flags) { f.ramp = "100, 200,400" }, ""},
+		{"bad ramp entry", func(f *flags) { f.ramp = "100,zero" }, "-ramp"},
+		{"zero ramp step", func(f *flags) { f.ramp = "100,0" }, "-ramp"},
+		{"diurnal shape", func(f *flags) { f.shape = "diurnal"; f.peak = 800 }, ""},
+		{"bursty shape", func(f *flags) { f.shape = "bursty"; f.peak = 800 }, ""},
+		{"unknown shape", func(f *flags) { f.shape = "sawtooth" }, "-shape"},
+		{"shape with ramp", func(f *flags) { f.shape = "diurnal"; f.ramp = "100,200" }, "-shape"},
+		{"negative peak", func(f *flags) { f.peak = -1 }, "-peak"},
+		{"peak below base", func(f *flags) { f.shape = "diurnal"; f.peak = 100 }, "-peak"},
+		{"zero period", func(f *flags) { f.shape = "diurnal"; f.period = 0 }, "-period"},
+		{"zero burstlen", func(f *flags) { f.shape = "bursty"; f.burstLen = 0 }, "-burstlen"},
+		{"zero burstgap", func(f *flags) { f.shape = "bursty"; f.burstGap = 0 }, "-burstgap"},
+		{"good mix", func(f *flags) { f.mix = "regex-filtering:8,html-templating:2" }, ""},
+		{"bad mix weight", func(f *flags) { f.mix = "a:-1" }, "-mix"},
+		{"negative alpha", func(f *flags) { f.alpha = -0.5 }, "-alpha"},
+		{"alpha without nmax", func(f *flags) { f.alpha = 1.2 }, "-nmax"},
+		{"alpha with nmax", func(f *flags) { f.alpha = 1.2; f.nmax = 5000 }, ""},
+		{"nmax below batch", func(f *flags) { f.alpha = 1.2; f.batch = 100; f.nmax = 50 }, "-nmax"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := defaults()
+			c.mutate(&f)
+			rates, mix, err := validate(f.url, f.kernel, f.batch, f.rps, f.seconds, f.ramp, f.count,
+				f.shape, f.peak, f.period, f.burstLen, f.burstGap, f.mix, f.alpha, f.nmax)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate rejected valid flags: %v", err)
+				}
+				if len(rates) == 0 {
+					t.Fatalf("no ramp steps resolved")
+				}
+				if f.mix != "" && mix == nil {
+					t.Fatalf("mix flag set but no mix parsed")
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validate accepted bad flags, want error mentioning %q", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not name the offending flag %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestRampResolution: -ramp overrides -rps and preserves order.
+func TestRampResolution(t *testing.T) {
+	f := defaults()
+	rates, _, err := validate(f.url, f.kernel, 0, f.rps, f.seconds, "100,200,400", f.count,
+		"", 0, f.period, f.burstLen, f.burstGap, "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rates) != 3 || rates[0] != 100 || rates[2] != 400 {
+		t.Fatalf("rates = %v", rates)
+	}
+}

@@ -1,0 +1,217 @@
+// Command faasrouter fronts a cluster of faasd worker processes: it
+// consistent-hashes /invoke requests across the workers on the
+// (kernel, backend, scheme) affinity key — the same key the workers'
+// keep-warm pools pin instances under — and runs the telemetry-driven
+// autoscaler that grows and shrinks each worker's per-backend pools.
+//
+// Two ways to get workers:
+//
+//	faasrouter -faasd ./faasd -n 3             # spawn and supervise 3 workers
+//	faasrouter -attach http://127.0.0.1:8081,http://127.0.0.1:8082
+//
+// Spawned workers use ephemeral ports (-addr 127.0.0.1:0 -addrfile),
+// are restarted when they die, and are routed around while down.
+//
+// Usage:
+//
+//	faasrouter -faasd ./faasd -n 3                        # cluster on :8090
+//	faasrouter -faasd ./faasd -n 3 -workerargs "-slots 8"
+//	faasrouter -attach http://127.0.0.1:8081 -autoscale=false
+//	faasrouter -faasd ./faasd -n 2 -scaleinterval 500ms -maxwarm 6
+//
+// Endpoints:
+//
+//	POST/GET /invoke/<kernel>?n=&backend=&scheme=   proxied to a worker
+//	GET      /healthz    router + per-worker health
+//	GET      /metrics    cluster.router.* / cluster.autoscale.* snapshot
+//	GET      /workers    registered worker names and URLs
+//
+// SIGINT/SIGTERM drains: the autoscaler stops, spawned workers get
+// SIGTERM (each drains its own in-flight work), then the router exits.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8090", "listen address (use port 0 with -addrfile for an ephemeral port)")
+	addrFile := flag.String("addrfile", "", "write the bound address to this file once listening")
+	faasd := flag.String("faasd", "", "path to a faasd binary; spawn and supervise -n workers")
+	n := flag.Int("n", 2, "worker processes to spawn with -faasd")
+	workerArgs := flag.String("workerargs", "", "extra args passed to each spawned faasd (space-separated)")
+	attach := flag.String("attach", "", "comma-separated base URLs of already-running workers (alternative to -faasd)")
+	dir := flag.String("dir", "", "directory for spawned workers' address files and logs (default: temp dir)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per worker on the hash ring (default 64)")
+	spread := flag.Int("spread", 0, "ring candidates per key: 1 = strict affinity, larger = bounded-load spread (default 2)")
+	loadFactor := flag.Float64("loadfactor", 0, "bounded-load constant c; a worker above c*mean in-flight diverts (default 1.25)")
+	autoscale := flag.Bool("autoscale", true, "run the telemetry-driven keep-warm autoscaler")
+	scaleInterval := flag.Duration("scaleinterval", time.Second, "autoscaler scrape/decide interval")
+	growMisses := flag.Int("growmisses", 0, "cold-start delta per tick that grows a backend's pool (default 3)")
+	idleTicks := flag.Int("idleticks", 0, "consecutive idle ticks before a pool shrinks (default 3)")
+	cooldownTicks := flag.Int("cooldownticks", 0, "ticks a (worker, backend) holds after any decision (default 2)")
+	maxWarm := flag.Int("maxwarm", 0, "largest keep-warm target the autoscaler will set (default 8)")
+	drainTimeout := flag.Duration("draintimeout", 15*time.Second, "how long shutdown waits for workers to drain")
+	flag.Parse()
+
+	if err := validate(*faasd, *attach, *n, *vnodes, *spread, *loadFactor, *scaleInterval,
+		*growMisses, *idleTicks, *cooldownTicks, *maxWarm, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "faasrouter:", err)
+		os.Exit(2)
+	}
+
+	telemetry.SetEnabled(true)
+	router := cluster.NewRouter(cluster.RouterConfig{
+		Vnodes:     *vnodes,
+		Spread:     *spread,
+		LoadFactor: *loadFactor,
+	})
+
+	var sup *cluster.Supervisor
+	if *faasd != "" {
+		var args []string
+		if *workerArgs != "" {
+			args = strings.Fields(*workerArgs)
+		}
+		var err error
+		sup, err = cluster.NewSupervisor(cluster.SupervisorConfig{
+			Command: *faasd,
+			Args:    args,
+			Workers: *n,
+			Dir:     *dir,
+			OnUp: func(name, baseURL string) {
+				router.AddWorker(name, baseURL)
+				fmt.Fprintf(os.Stderr, "[faasrouter %s up at %s]\n", name, baseURL)
+			},
+			OnDown: func(name string) {
+				router.SetHealthy(name, false)
+				fmt.Fprintf(os.Stderr, "[faasrouter %s down]\n", name)
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faasrouter:", err)
+			os.Exit(1)
+		}
+		if err := sup.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, "faasrouter:", err)
+			os.Exit(1)
+		}
+	} else {
+		for i, u := range strings.Split(*attach, ",") {
+			router.AddWorker(fmt.Sprintf("worker-%d", i), strings.TrimSpace(u))
+		}
+	}
+
+	var scaler *cluster.Autoscaler
+	if *autoscale {
+		scaler = cluster.NewAutoscaler(router, cluster.AutoscalerConfig{
+			Interval: *scaleInterval,
+			Policy: cluster.PolicyConfig{
+				GrowMissDelta:   uint64(*growMisses),
+				ShrinkIdleTicks: *idleTicks,
+				CooldownTicks:   *cooldownTicks,
+				MaxTarget:       *maxWarm,
+			},
+		})
+		scaler.Start()
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faasrouter:", err)
+		os.Exit(1)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "faasrouter:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "[faasrouter listening on %s, %d workers]\n", ln.Addr(), len(router.Workers()))
+
+	httpSrv := &http.Server{Handler: router.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "[faasrouter %s: draining]\n", got)
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "faasrouter:", err)
+		os.Exit(1)
+	}
+
+	if scaler != nil {
+		scaler.Stop()
+	}
+	_ = httpSrv.Close()
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "faasrouter:", err)
+	}
+	if sup != nil {
+		done := make(chan struct{})
+		go func() { sup.Stop(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(*drainTimeout):
+			fmt.Fprintln(os.Stderr, "[faasrouter: worker drain timed out]")
+		}
+	}
+	snap := telemetry.Default.Snapshot()
+	fmt.Fprintf(os.Stderr, "[faasrouter drained: %d requests, %d proxied, %d failovers, %d grows, %d shrinks]\n",
+		snap.Counters["cluster.router.requests"], snap.Counters["cluster.router.proxied"],
+		snap.Counters["cluster.router.failovers"], snap.Counters["cluster.autoscale.grow"],
+		snap.Counters["cluster.autoscale.shrink"])
+}
+
+// validate rejects nonsensical knob settings with exit code 2 (usage
+// error), mirroring faasd and faassim: zero means "use the default"
+// for sizing knobs, so only negatives (and impossible combinations)
+// are errors.
+func validate(faasd, attach string, n, vnodes, spread int, loadFactor float64,
+	scaleInterval time.Duration, growMisses, idleTicks, cooldownTicks, maxWarm int,
+	drainTimeout time.Duration) error {
+	switch {
+	case faasd == "" && attach == "":
+		return fmt.Errorf("one of -faasd (spawn workers) or -attach (join running workers) is required")
+	case faasd != "" && attach != "":
+		return fmt.Errorf("-faasd and -attach are mutually exclusive")
+	case faasd != "" && n < 1:
+		return fmt.Errorf("-n %d: must be >= 1", n)
+	case vnodes < 0:
+		return fmt.Errorf("-vnodes %d: must be >= 1 (or 0 for the default)", vnodes)
+	case spread < 0:
+		return fmt.Errorf("-spread %d: must be >= 1 (or 0 for the default)", spread)
+	case loadFactor < 0:
+		return fmt.Errorf("-loadfactor %g: must be > 1 (or 0 for the default)", loadFactor)
+	case loadFactor > 0 && loadFactor <= 1:
+		return fmt.Errorf("-loadfactor %g: must be > 1 (a worker may always take its fair share)", loadFactor)
+	case scaleInterval <= 0:
+		return fmt.Errorf("-scaleinterval %v: must be positive", scaleInterval)
+	case growMisses < 0:
+		return fmt.Errorf("-growmisses %d: must be >= 1 (or 0 for the default)", growMisses)
+	case idleTicks < 0:
+		return fmt.Errorf("-idleticks %d: must be >= 1 (or 0 for the default)", idleTicks)
+	case cooldownTicks < 0:
+		return fmt.Errorf("-cooldownticks %d: must be >= 1 (or 0 for the default)", cooldownTicks)
+	case maxWarm < 0:
+		return fmt.Errorf("-maxwarm %d: must be >= 1 (or 0 for the default)", maxWarm)
+	case drainTimeout <= 0:
+		return fmt.Errorf("-draintimeout %v: must be positive", drainTimeout)
+	}
+	return nil
+}

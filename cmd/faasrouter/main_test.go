@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// flags mirrors the validated faasrouter knobs; defaults() matches the
+// flag defaults (spawn mode) so each case perturbs one knob.
+type flags struct {
+	faasd, attach       string
+	n, vnodes, spread   int
+	loadFactor          float64
+	scaleInterval       time.Duration
+	growMisses          int
+	idleTicks, cooldown int
+	maxWarm             int
+	drainTimeout        time.Duration
+}
+
+func defaults() flags {
+	return flags{
+		faasd: "./faasd", n: 2,
+		scaleInterval: time.Second,
+		drainTimeout:  15 * time.Second,
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*flags)
+		wantErr string // substring of the error, "" = valid
+	}{
+		{"spawn defaults", func(f *flags) {}, ""},
+		{"attach mode", func(f *flags) { f.faasd = ""; f.attach = "http://127.0.0.1:8081" }, ""},
+		{"neither mode", func(f *flags) { f.faasd = "" }, "-faasd"},
+		{"both modes", func(f *flags) { f.attach = "http://x" }, "mutually exclusive"},
+		{"zero workers", func(f *flags) { f.n = 0 }, "-n "},
+		{"negative vnodes", func(f *flags) { f.vnodes = -1 }, "-vnodes"},
+		{"explicit vnodes", func(f *flags) { f.vnodes = 128 }, ""},
+		{"negative spread", func(f *flags) { f.spread = -1 }, "-spread"},
+		{"strict affinity", func(f *flags) { f.spread = 1 }, ""},
+		{"negative loadfactor", func(f *flags) { f.loadFactor = -2 }, "-loadfactor"},
+		{"loadfactor at one", func(f *flags) { f.loadFactor = 1 }, "-loadfactor"},
+		{"good loadfactor", func(f *flags) { f.loadFactor = 1.5 }, ""},
+		{"zero scaleinterval", func(f *flags) { f.scaleInterval = 0 }, "-scaleinterval"},
+		{"negative growmisses", func(f *flags) { f.growMisses = -1 }, "-growmisses"},
+		{"negative idleticks", func(f *flags) { f.idleTicks = -1 }, "-idleticks"},
+		{"negative cooldown", func(f *flags) { f.cooldown = -1 }, "-cooldownticks"},
+		{"negative maxwarm", func(f *flags) { f.maxWarm = -1 }, "-maxwarm"},
+		{"zero draintimeout", func(f *flags) { f.drainTimeout = 0 }, "-draintimeout"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := defaults()
+			c.mutate(&f)
+			err := validate(f.faasd, f.attach, f.n, f.vnodes, f.spread, f.loadFactor,
+				f.scaleInterval, f.growMisses, f.idleTicks, f.cooldown, f.maxWarm, f.drainTimeout)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate rejected valid flags: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validate accepted bad flags, want error mentioning %q", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not name the offending flag %q", err, c.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,266 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+// clusterWorker is one in-process faasd-equivalent: a real server.Server
+// behind an httptest listener, with its own registry.
+type clusterWorker struct {
+	srv *server.Server
+	ts  *httptest.Server
+	reg *telemetry.Registry
+}
+
+func newClusterWorker(t *testing.T) *clusterWorker {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	s, err := server.New(server.Config{
+		Shards:          1,
+		WorkersPerShard: 1,
+		WarmPerWorker:   2,
+		Registry:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return &clusterWorker{srv: s, ts: ts, reg: reg}
+}
+
+// newTestCluster wires n in-process workers to a fresh router.
+func newTestCluster(t *testing.T, n int, cfg RouterConfig) (*Router, []*clusterWorker, *httptest.Server) {
+	t.Helper()
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
+	r := NewRouter(cfg)
+	workers := make([]*clusterWorker, n)
+	for i := range workers {
+		workers[i] = newClusterWorker(t)
+		r.AddWorker(names(n)[i], workers[i].ts.URL)
+	}
+	front := httptest.NewServer(r.Handler())
+	t.Cleanup(front.Close)
+	return r, workers, front
+}
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = "w" + string(rune('0'+i))
+	}
+	return out
+}
+
+func getBody(t *testing.T, url string) (int, http.Header, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	body := map[string]any{}
+	_ = json.Unmarshal(data, &body)
+	return resp.StatusCode, resp.Header, body
+}
+
+// TestRouterAffinity: repeated requests for one (kernel, backend,
+// scheme) all land on the same worker, and after the first request they
+// hit that worker's keep-warm pool.
+func TestRouterAffinity(t *testing.T) {
+	_, workers, front := newTestCluster(t, 3, RouterConfig{})
+	url := front.URL + "/invoke/hash-load-balance?backend=colorguard"
+
+	var served string
+	for i := 0; i < 6; i++ {
+		st, hdr, body := getBody(t, url)
+		if st != http.StatusOK {
+			t.Fatalf("request %d: status %d body %v", i, st, body)
+		}
+		if hdr.Get("X-Trace-Id") == "" {
+			t.Fatalf("request %d: no X-Trace-Id propagated", i)
+		}
+		by := hdr.Get("X-Served-By")
+		if served == "" {
+			served = by
+		} else if by != served {
+			t.Fatalf("affinity broke: request %d went to %s, earlier to %s", i, by, served)
+		}
+	}
+
+	var hits uint64
+	for _, w := range workers {
+		hits += w.reg.Counter("server.warm.hits").Load()
+	}
+	if hits != 5 {
+		t.Errorf("cluster-wide warm hits = %d, want 5 (all repeats on the home worker)", hits)
+	}
+}
+
+// TestRouterDistinctKeysSpread: different affinity keys spread across
+// the cluster — with enough keys every worker serves some.
+func TestRouterDistinctKeysSpread(t *testing.T) {
+	_, _, front := newTestCluster(t, 3, RouterConfig{})
+	seen := map[string]bool{}
+	for _, q := range []string{
+		"/invoke/hash-load-balance?backend=colorguard",
+		"/invoke/hash-load-balance?backend=guardpage",
+		"/invoke/hash-load-balance?backend=mte",
+		"/invoke/regex-filtering?backend=colorguard",
+		"/invoke/regex-filtering?backend=guardpage",
+		"/invoke/html-templating?backend=colorguard",
+		"/invoke/html-templating?backend=colorguard&scheme=zerocost",
+		"/invoke/regex-filtering?backend=colorguard&scheme=onestack",
+	} {
+		st, hdr, body := getBody(t, front.URL+q)
+		if st != http.StatusOK {
+			t.Fatalf("GET %s: %d %v", q, st, body)
+		}
+		seen[hdr.Get("X-Served-By")] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("8 distinct keys all routed to %v; want spread over >= 2 of 3 workers", seen)
+	}
+}
+
+// TestRouterFailover: killing a worker's listener must not surface as a
+// routing-layer 5xx — the router fails over to a surviving candidate
+// and marks the dead worker down.
+func TestRouterFailover(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	r, workers, front := newTestCluster(t, 2, RouterConfig{Registry: reg, Spread: 2})
+
+	// Find a key homed on w0 so killing w0 exercises failover.
+	var url, victim string
+	for _, q := range []string{
+		"/invoke/regex-filtering?backend=colorguard",
+		"/invoke/regex-filtering?backend=guardpage",
+		"/invoke/hash-load-balance?backend=colorguard",
+	} {
+		st, hdr, _ := getBody(t, front.URL+q)
+		if st != http.StatusOK {
+			t.Fatalf("probe %s: %d", q, st)
+		}
+		url, victim = front.URL+q, hdr.Get("X-Served-By")
+		break
+	}
+
+	// Kill the victim's listener (the process-death analogue here).
+	for i, w := range workers {
+		if names(2)[i] == victim {
+			w.ts.CloseClientConnections()
+			w.ts.Close()
+		}
+	}
+
+	st, hdr, body := getBody(t, url)
+	if st != http.StatusOK {
+		t.Fatalf("post-kill request: status %d body %v", st, body)
+	}
+	if by := hdr.Get("X-Served-By"); by == victim {
+		t.Fatalf("request served by the dead worker %s", by)
+	}
+	if fo := reg.Counter("cluster.router.failovers").Load(); fo < 1 {
+		t.Errorf("failovers = %d, want >= 1", fo)
+	}
+	if reg.Counter("cluster.router.no_worker").Load() != 0 {
+		t.Errorf("routing-layer 502 recorded despite a healthy survivor")
+	}
+	if r.countHealthy() != 1 {
+		t.Errorf("healthy workers = %d, want 1", r.countHealthy())
+	}
+}
+
+// TestRouterNoWorker: with no registered workers the router answers
+// 502 and counts it.
+func TestRouterNoWorker(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	r := NewRouter(RouterConfig{Registry: reg})
+	front := httptest.NewServer(r.Handler())
+	defer front.Close()
+	st, _, _ := getBody(t, front.URL+"/invoke/regex-filtering")
+	if st != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502", st)
+	}
+	if reg.Counter("cluster.router.no_worker").Load() != 1 {
+		t.Errorf("no_worker counter not incremented")
+	}
+}
+
+// TestRouterPickBoundedLoad: a home worker over the bounded-load limit
+// diverts to the next candidate; under it, affinity wins even when the
+// other worker is idle.
+func TestRouterPickBoundedLoad(t *testing.T) {
+	r := NewRouter(RouterConfig{Registry: telemetry.NewRegistry(), Spread: 2, LoadFactor: 1.25})
+	r.AddWorker("a", "http://a")
+	r.AddWorker("b", "http://b")
+	a, b := r.workers["a"], r.workers["b"]
+
+	picked, diverted := r.pick([]*routerWorker{a, b})
+	if picked != a || diverted {
+		t.Fatalf("idle home not picked: %v diverted=%v", picked.name, diverted)
+	}
+
+	// Load the home far beyond the bounded-load limit.
+	a.inFlight.Store(100)
+	picked, diverted = r.pick([]*routerWorker{a, b})
+	if picked != b || !diverted {
+		t.Fatalf("overloaded home not diverted: picked %s diverted=%v", picked.name, diverted)
+	}
+
+	// Both overloaded: least-loaded wins rather than failing.
+	b.inFlight.Store(200)
+	picked, _ = r.pick([]*routerWorker{a, b})
+	if picked != a {
+		t.Fatalf("least-loaded fallback picked %s", picked.name)
+	}
+
+	// Unhealthy home is skipped outright.
+	a.inFlight.Store(0)
+	a.healthy.Store(false)
+	picked, diverted = r.pick([]*routerWorker{a, b})
+	if picked != b || !diverted {
+		t.Fatalf("unhealthy home not skipped: picked %s", picked.name)
+	}
+}
+
+// TestRouterEndpoints: /healthz, /workers and /metrics answer with the
+// expected shapes.
+func TestRouterEndpoints(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	_, _, front := newTestCluster(t, 2, RouterConfig{Registry: reg})
+
+	st, _, body := getBody(t, front.URL+"/healthz")
+	if st != http.StatusOK {
+		t.Fatalf("/healthz: %d", st)
+	}
+	if body["status"] != "ok" {
+		t.Errorf("healthz status = %v", body["status"])
+	}
+	if ws := body["workers"].([]any); len(ws) != 2 {
+		t.Errorf("healthz workers = %v", ws)
+	}
+
+	st, _, body = getBody(t, front.URL+"/workers")
+	if st != http.StatusOK || len(body) != 2 {
+		t.Fatalf("/workers: %d %v", st, body)
+	}
+
+	st, _, body = getBody(t, front.URL+"/metrics")
+	if st != http.StatusOK {
+		t.Fatalf("/metrics: %d", st)
+	}
+	if _, ok := body["counters"].(map[string]any)["cluster.router.requests"]; !ok {
+		t.Errorf("metrics missing cluster.router.requests: %v", body["counters"])
+	}
+}

@@ -9,7 +9,6 @@ package rt
 import (
 	"errors"
 	"fmt"
-	"math"
 
 	"repro/internal/cpu"
 	"repro/internal/ir"
@@ -189,6 +188,12 @@ type Instance struct {
 	transInCycles  float64
 	transOutCycles float64
 
+	// initMemBytes/stackBase/ctxBytes remember the instantiation-time
+	// geometry so Reset can restore it without re-reserving anything.
+	initMemBytes uint64
+	stackBase    uint64
+	ctxBytes     uint64
+
 	hosts map[string]HostFunc
 }
 
@@ -281,27 +286,18 @@ func NewInstance(mod *Module, opts InstanceOptions) (*Instance, error) {
 		return nil, fmt.Errorf("rt: allocating stack: %w", err)
 	}
 	inst.StackTop = sb + pageUp(stackBytes)
+	inst.stackBase = sb
 	ctx, err := inst.AS.MmapAnywhere(pageUp(sfi.CtxSize(m)), mem.ProtRead|mem.ProtWrite)
 	if err != nil {
 		return nil, fmt.Errorf("rt: allocating context: %w", err)
 	}
 	inst.CtxBase = ctx
+	inst.ctxBytes = pageUp(sfi.CtxSize(m))
+	inst.initMemBytes = inst.MemBytes
 
-	// Initialize context fields and globals.
-	inst.AS.Store(ctx+sfi.CtxHeapBaseOff, 8, inst.HeapBase)
-	inst.AS.Store(ctx+sfi.CtxMemLimitOff, 8, inst.MemBytes)
-	inst.AS.Store(ctx+sfi.CtxMemPagesOff, 8, inst.MemBytes/ir.PageSize)
-	for i, g := range m.Globals {
-		v := uint64(g.Init)
-		if g.Type == ir.F64 {
-			v = math.Float64bits(g.InitF)
-		}
-		inst.AS.Store(ctx+sfi.CtxGlobalsOff+8*uint64(i), 8, v)
-	}
-	// Data segments.
-	for _, seg := range m.Data {
-		inst.AS.WriteBytes(inst.HeapBase+uint64(seg.Offset), seg.Bytes)
-	}
+	// Initialize context fields, globals, and data segments (shared
+	// with Reset, which replays exactly this on a recycled instance).
+	inst.initMemory()
 
 	inst.Mach = cpu.NewMachine(inst.AS, mod.Prog)
 	if telemetry.Enabled() {

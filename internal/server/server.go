@@ -14,6 +14,7 @@
 //	                            ?backend= isolation kind)
 //	GET      /healthz           serving/draining status, breaker state
 //	GET      /metrics           telemetry Registry snapshot as JSON
+//	GET/POST /control/warm      read / set per-backend keep-warm targets
 //
 // Concurrency model: compiled modules are shared (they are immutable
 // after compilation, and come from the race-safe rt compile cache), but
@@ -26,6 +27,17 @@
 // degrades exactly like the simulator: queue-full and over-limit
 // arrivals shed with 429, deadline misses count as timeouts and feed
 // the breaker, and an open breaker fast-fails admissions with 503.
+//
+// Keep-warm pools amortize cold starts: after a successful request the
+// worker may pin the instance (slot held, memory initialized) instead
+// of recycling it, so the next request for the same (kernel, backend,
+// scheme) pays an rt.Instance.Reset — a madvise and a state replay —
+// rather than the whole placement path. Pool capacity is a per-backend
+// target, adjustable at runtime through /control/warm; the cluster
+// autoscaler (internal/cluster) drives it from scraped telemetry. This
+// is where ColorGuard's slot density pays off at scale: its warm
+// instances share one process, while a warm multiproc instance is a
+// whole pinned OS process (§7).
 package server
 
 import (
@@ -91,8 +103,19 @@ type Config struct {
 	Breaker fault.BreakerConfig
 
 	// SlotsPerWorker is each worker backend's slot count (default: 4;
-	// a worker runs one request at a time, slack covers recycle churn).
+	// a worker runs one request at a time, slack covers recycle churn
+	// and pinned keep-warm instances).
 	SlotsPerWorker int
+
+	// WarmPerWorker is the initial keep-warm target per backend kind:
+	// how many recently-used instances each worker pins (slot held,
+	// memory initialized) so a repeat request pays an instance reset
+	// instead of a cold start. 0 selects the default (2); negative
+	// disables keep-warm. Targets are adjustable at runtime per backend
+	// via POST /control/warm (the cluster autoscaler's lever) and are
+	// always clamped to SlotsPerWorker-1 so a worker keeps one slot of
+	// cold-start headroom.
+	WarmPerWorker int
 
 	// Registry receives the server's metrics (default:
 	// telemetry.Default).
@@ -127,6 +150,15 @@ func (c Config) withDefaults() Config {
 	if c.SlotsPerWorker <= 0 {
 		c.SlotsPerWorker = 4
 	}
+	switch {
+	case c.WarmPerWorker == 0:
+		c.WarmPerWorker = 2
+	case c.WarmPerWorker < 0:
+		c.WarmPerWorker = 0 // keep-warm disabled
+	}
+	if max := c.SlotsPerWorker - 1; c.WarmPerWorker > max {
+		c.WarmPerWorker = max
+	}
 	if c.Registry == nil {
 		c.Registry = telemetry.Default
 	}
@@ -144,6 +176,20 @@ type metrics struct {
 	breakerOpens *telemetry.Counter
 	inFlight     *telemetry.Gauge
 	latency      *telemetry.Histogram
+
+	// Keep-warm pool instruments: hits reused a pinned instance, misses
+	// cold-started, evictions closed a pinned instance to make room (or
+	// on an autoscaler shrink), resetFails fell back to a cold start.
+	// warmPinned gauges the instances currently pinned across workers.
+	warmHits       *telemetry.Counter
+	warmMisses     *telemetry.Counter
+	warmEvictions  *telemetry.Counter
+	warmResetFails *telemetry.Counter
+	warmPinned     *telemetry.Gauge
+
+	// warmMissKind splits misses per backend so an autoscaler can grow
+	// exactly the pool that is cold-starting.
+	warmMissKind map[isolation.Kind]*telemetry.Counter
 }
 
 func newMetrics(reg *telemetry.Registry) *metrics {
@@ -157,7 +203,21 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 		inFlight:     reg.Gauge("server.in_flight"),
 		latency: reg.Histogram("server.request_latency_ns",
 			telemetry.ExpBuckets(1e4, 2, 28)), // 10 µs .. ~22 min
+		warmHits:       reg.Counter("server.warm.hits"),
+		warmMisses:     reg.Counter("server.warm.misses"),
+		warmEvictions:  reg.Counter("server.warm.evictions"),
+		warmResetFails: reg.Counter("server.warm.reset_fails"),
+		warmPinned:     reg.Gauge("server.warm.pinned"),
+		warmMissKind:   warmMissCounters(reg),
 	}
+}
+
+func warmMissCounters(reg *telemetry.Registry) map[isolation.Kind]*telemetry.Counter {
+	m := make(map[isolation.Kind]*telemetry.Counter, len(isolation.Kinds()))
+	for _, k := range isolation.Kinds() {
+		m[k] = reg.Counter("server.warm.misses." + string(k))
+	}
+	return m
 }
 
 // wallBreaker adapts internal/fault's single-owner virtual-time breaker
@@ -233,6 +293,13 @@ type Server struct {
 	inFlight atomic.Int64
 	rr       atomic.Uint64 // round-robin shard cursor
 
+	// warmTargets is the per-backend keep-warm target (instances each
+	// worker pins). Written by SetWarmTarget (the /control/warm
+	// endpoint), read by workers on every pool decision; enforcement is
+	// lazy on the worker's own goroutine.
+	warmMu      sync.RWMutex
+	warmTargets map[isolation.Kind]int
+
 	// mu guards the enqueue-vs-Close race: Close sets closed and closes
 	// the shard queues under the write lock; enqueues hold the read
 	// lock, so no send can hit a closed channel.
@@ -268,13 +335,17 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: %w", err)
 	}
 	s := &Server{
-		cfg:     cfg,
-		kernels: kernels,
-		mods:    mods,
-		breaker: newWallBreaker(cfg.Breaker),
-		met:     newMetrics(cfg.Registry),
-		flight:  telemetry.NewFlightRecorder(0),
-		start:   time.Now(),
+		cfg:         cfg,
+		kernels:     kernels,
+		mods:        mods,
+		breaker:     newWallBreaker(cfg.Breaker),
+		met:         newMetrics(cfg.Registry),
+		flight:      telemetry.NewFlightRecorder(0),
+		start:       time.Now(),
+		warmTargets: make(map[isolation.Kind]int, len(isolation.Kinds())),
+	}
+	for _, k := range isolation.Kinds() {
+		s.warmTargets[k] = cfg.WarmPerWorker
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{
@@ -375,7 +446,82 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/requests", s.handleDebugRequests)
+	mux.HandleFunc("/control/warm", s.handleControlWarm)
 	return mux
+}
+
+// WarmTarget returns the current keep-warm target for kind.
+func (s *Server) WarmTarget(kind isolation.Kind) int {
+	s.warmMu.RLock()
+	defer s.warmMu.RUnlock()
+	return s.warmTargets[kind]
+}
+
+// WarmTargets snapshots every backend's keep-warm target.
+func (s *Server) WarmTargets() map[isolation.Kind]int {
+	s.warmMu.RLock()
+	defer s.warmMu.RUnlock()
+	out := make(map[isolation.Kind]int, len(s.warmTargets))
+	for k, v := range s.warmTargets {
+		out[k] = v
+	}
+	return out
+}
+
+// SetWarmTarget sets the keep-warm target for kind, clamped to
+// [0, SlotsPerWorker-1] so every worker keeps one slot of cold-start
+// headroom. It returns the applied value. Workers converge lazily: the
+// next time one touches its pool it enforces the new target (an idle
+// worker keeps its pins until then — shrink frees slots on the next
+// request, not instantly).
+func (s *Server) SetWarmTarget(kind isolation.Kind, target int) int {
+	if target < 0 {
+		target = 0
+	}
+	if max := s.cfg.SlotsPerWorker - 1; target > max {
+		target = max
+	}
+	s.warmMu.Lock()
+	s.warmTargets[kind] = target
+	s.warmMu.Unlock()
+	s.cfg.Registry.Gauge("server.warm.target." + string(kind)).Set(int64(target))
+	return target
+}
+
+// handleControlWarm is the autoscaler's lever: GET reports the current
+// per-backend keep-warm targets, POST ?backend=<kind>&target=<n> sets
+// one (the response echoes the clamped value actually applied).
+func (s *Server) handleControlWarm(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		targets := make(map[string]int)
+		for k, v := range s.WarmTargets() {
+			targets[string(k)] = v
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"targets": targets,
+			"pinned":  s.met.warmPinned.Load(),
+			"slots":   s.cfg.SlotsPerWorker,
+		})
+	case http.MethodPost:
+		kind := isolation.Kind(r.URL.Query().Get("backend"))
+		if err := validBackend(kind); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		target, err := strconv.Atoi(r.URL.Query().Get("target"))
+		if err != nil || target < 0 {
+			writeError(w, http.StatusBadRequest, "target must be an integer >= 0")
+			return
+		}
+		applied := s.SetWarmTarget(kind, target)
+		writeJSON(w, http.StatusOK, map[string]any{
+			"backend": string(kind),
+			"target":  applied,
+		})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or POST")
+	}
 }
 
 // Stats is a point-in-time summary of the serving counters (for the
@@ -437,12 +583,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"queue_capacity": cap(sh.queue),
 		})
 	}
+	warmTargets := make(map[string]int)
+	for k, v := range s.WarmTargets() {
+		warmTargets[string(k)] = v
+	}
 	writeJSON(w, status, map[string]any{
 		"status":    state,
 		"breaker":   s.breaker.State().String(),
 		"in_flight": s.inFlight.Load(),
 		"shards":    shards,
-		"uptime_s":  time.Since(s.start).Seconds(),
+		"warm": map[string]any{
+			"pinned":  s.met.warmPinned.Load(),
+			"targets": warmTargets,
+		},
+		"uptime_s": time.Since(s.start).Seconds(),
 	})
 }
 

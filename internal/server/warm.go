@@ -1,0 +1,139 @@
+package server
+
+import (
+	"container/list"
+
+	"repro/internal/isolation"
+	"repro/internal/rt"
+)
+
+// warmKey identifies one keep-warm pool entry: a placed, initialized
+// instance of a kernel under one isolation mechanism and transition
+// scheme. The slot stays allocated while the entry is pinned, so a hit
+// skips the whole cold-start path (slot allocation, address-space
+// layout, data-segment initialization bookkeeping) and pays only an
+// rt.Instance.Reset.
+type warmKey struct {
+	kernel string
+	kind   isolation.Kind
+	scheme isolation.Scheme
+}
+
+// warmEntry is one pinned instance on the pool's LRU list.
+type warmEntry struct {
+	key  warmKey
+	inst *rt.Instance
+}
+
+// warmPool is a worker's keep-warm cache. It is owned by exactly one
+// worker goroutine — instances wrap single-owner address spaces, so the
+// pool must never be shared — and holds at most one instance per key
+// (a worker runs one request at a time). Capacity is governed per
+// backend kind by the server's warm targets, which the autoscaler
+// adjusts at runtime through /control/warm; enforcement is lazy, on the
+// worker's own put path, so resizing never touches another goroutine's
+// instances.
+type warmPool struct {
+	entries map[warmKey]*list.Element
+	lru     *list.List // front = most recently used
+	perKind map[isolation.Kind]int
+}
+
+func newWarmPool() *warmPool {
+	return &warmPool{
+		entries: make(map[warmKey]*list.Element),
+		lru:     list.New(),
+		perKind: make(map[isolation.Kind]int),
+	}
+}
+
+// take removes and returns the pinned instance for key, or nil.
+func (p *warmPool) take(key warmKey) *rt.Instance {
+	el, ok := p.entries[key]
+	if !ok {
+		return nil
+	}
+	p.remove(el)
+	return el.Value.(*warmEntry).inst
+}
+
+// put pins inst under key, evicting the least-recently-used entry of
+// the same kind if that kind is at its target. target <= 0 refuses the
+// pin (the caller closes the instance). Returns the number of entries
+// evicted (0 or 1) — evicted instances are closed here, recycling
+// their slots.
+func (p *warmPool) put(key warmKey, inst *rt.Instance, target int) (pinned bool, evicted int) {
+	if target <= 0 {
+		return false, 0
+	}
+	if el, ok := p.entries[key]; ok {
+		// A stale pin under the same key (should not happen: take
+		// removes before execute). Replace it.
+		p.remove(el)
+		el.Value.(*warmEntry).inst.Close()
+		evicted++
+	}
+	for p.perKind[key.kind] >= target {
+		if !p.evictKind(key.kind) {
+			break
+		}
+		evicted++
+	}
+	p.entries[key] = p.lru.PushFront(&warmEntry{key: key, inst: inst})
+	p.perKind[key.kind]++
+	return true, evicted
+}
+
+// trim closes LRU entries of kind until at most target remain,
+// returning how many it closed. The autoscaler's shrink decisions land
+// here, on the owning worker's goroutine, the next time it touches the
+// pool.
+func (p *warmPool) trim(kind isolation.Kind, target int) int {
+	if target < 0 {
+		target = 0
+	}
+	n := 0
+	for p.perKind[kind] > target {
+		if !p.evictKind(kind) {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// evictKind closes the least-recently-used entry of kind.
+func (p *warmPool) evictKind(kind isolation.Kind) bool {
+	for el := p.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*warmEntry)
+		if e.key.kind == kind {
+			p.remove(el)
+			e.inst.Close()
+			return true
+		}
+	}
+	return false
+}
+
+// size returns the number of pinned instances.
+func (p *warmPool) size() int { return p.lru.Len() }
+
+// closeAll tears every pinned instance down (worker shutdown).
+func (p *warmPool) closeAll() int {
+	n := 0
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		el.Value.(*warmEntry).inst.Close()
+		n++
+	}
+	p.entries = make(map[warmKey]*list.Element)
+	p.lru.Init()
+	p.perKind = make(map[isolation.Kind]int)
+	return n
+}
+
+func (p *warmPool) remove(el *list.Element) {
+	e := el.Value.(*warmEntry)
+	p.lru.Remove(el)
+	delete(p.entries, e.key)
+	p.perKind[e.key.kind]--
+}

@@ -36,6 +36,12 @@ type worker struct {
 	id       int
 	maxBytes uint64 // largest linear memory any served kernel needs
 	backends map[backendKey]isolation.Backend
+
+	// warm pins recently-used instances (slot held, memory initialized)
+	// so a repeat (kernel, backend, scheme) pays an instance reset
+	// instead of the cold-start path. Owned by this goroutine, like the
+	// backends; capacity follows the server's per-backend warm targets.
+	warm *warmPool
 }
 
 // backendKey identifies one of a worker's slabs: the isolation
@@ -58,6 +64,7 @@ func newWorker(s *Server, id int) *worker {
 		id:       id,
 		maxBytes: maxBytes,
 		backends: make(map[backendKey]isolation.Backend),
+		warm:     newWarmPool(),
 	}
 }
 
@@ -79,6 +86,13 @@ func (w *worker) backend(kind isolation.Kind, scheme isolation.Scheme) (isolatio
 	if kind == isolation.ColorGuard {
 		cfg.Keys = 15
 	}
+	if kind == isolation.MultiProc {
+		// Process-per-instance: every slot is its own OS process in the
+		// model (§6.4.3), so a pinned warm instance costs a whole
+		// process — the density disadvantage ColorGuard's same-process
+		// slots are measured against at cluster scale.
+		cfg.Processes = w.s.cfg.SlotsPerWorker
+	}
 	b, err := isolation.NewReserved(kind, mem.NewAS(47), cfg)
 	if err != nil {
 		return nil, fmt.Errorf("reserving %s backend: %w", kind, err)
@@ -91,11 +105,14 @@ func (w *worker) backend(kind isolation.Kind, scheme isolation.Scheme) (isolatio
 	return b, nil
 }
 
-// run drains the shard queue until Close closes it, then releases the
-// worker's slabs.
+// run drains the shard queue until Close closes it, then closes the
+// pinned warm instances and releases the worker's slabs.
 func (w *worker) run(queue <-chan *job) {
 	defer w.s.wg.Done()
 	defer func() {
+		if n := w.warm.closeAll(); n > 0 {
+			w.s.met.warmPinned.Add(int64(-n))
+		}
 		for _, b := range w.backends {
 			_ = b.Release()
 		}
@@ -162,28 +179,11 @@ func (w *worker) execute(j *job, obs bool, deq time.Time) jobResult {
 		}
 		return res
 	}
-	b, err := w.backend(j.backend, j.scheme)
-	if err != nil {
-		return fail(http.StatusInternalServerError, err.Error())
+	key := warmKey{kernel: j.kernel.Name, kind: j.backend, scheme: j.scheme}
+	inst, status, msg := w.acquire(key, mod)
+	if inst == nil {
+		return fail(status, msg)
 	}
-	need := uint64(mod.IR.MemMin) * ir.PageSize
-	slot, err := b.Allocate(need)
-	if err != nil {
-		// Slot exhaustion: the serving-layer analogue of the
-		// simulator's SlotExhausted fault class.
-		return fail(http.StatusServiceUnavailable,
-			fmt.Sprintf("no free %s slot: %v", j.backend, err))
-	}
-	inst, err := rt.NewInstance(mod, rt.InstanceOptions{
-		FSGSBASE: true,
-		Place:    isolation.Place(b, slot),
-	})
-	if err != nil {
-		_ = b.Recycle(slot)
-		return fail(http.StatusInternalServerError,
-			fmt.Sprintf("instantiating: %v", err))
-	}
-	defer inst.Close()
 	var placed time.Time
 	if obs {
 		placed = time.Now()
@@ -198,6 +198,9 @@ func (w *worker) execute(j *job, obs bool, deq time.Time) jobResult {
 		w.attributeInvoke(j, inst, placed, invoked)
 	}
 	if err != nil {
+		// A trapped or failed execution leaves machine state suspect:
+		// never pin it.
+		inst.Close()
 		res.status = http.StatusInternalServerError
 		res.err = fmt.Sprintf("invoking %s: %v", j.kernel.Name, err)
 		return res
@@ -209,7 +212,76 @@ func (w *worker) execute(j *job, obs bool, deq time.Time) jobResult {
 	res.status = http.StatusOK
 	res.checksum = sum
 	res.simNs = inst.Mach.Stats.Nanos(&inst.Mach.Cost)
+	w.retire(key, inst)
 	return res
+}
+
+// acquire produces a ready instance for key: a pinned warm instance
+// reset to its initial state when the pool has one, a cold start
+// (fresh slot + instance) otherwise. A failed reset falls back to the
+// cold path. Returns (nil, status, msg) when even the cold path fails.
+func (w *worker) acquire(key warmKey, mod *rt.Module) (*rt.Instance, int, string) {
+	if wi := w.warm.take(key); wi != nil {
+		w.s.met.warmPinned.Add(-1)
+		if err := wi.Reset(); err != nil {
+			w.s.met.warmResetFails.Inc()
+			wi.Close()
+		} else {
+			w.s.met.warmHits.Inc()
+			return wi, 0, ""
+		}
+	}
+	w.s.met.warmMisses.Inc()
+	w.s.met.warmMissKind[key.kind].Inc()
+	b, err := w.backend(key.kind, key.scheme)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err.Error()
+	}
+	need := uint64(mod.IR.MemMin) * ir.PageSize
+	slot, err := b.Allocate(need)
+	if err != nil {
+		// Slot exhaustion: the serving-layer analogue of the
+		// simulator's SlotExhausted fault class.
+		return nil, http.StatusServiceUnavailable,
+			fmt.Sprintf("no free %s slot: %v", key.kind, err)
+	}
+	inst, err := rt.NewInstance(mod, rt.InstanceOptions{
+		FSGSBASE: true,
+		Place:    isolation.Place(b, slot),
+	})
+	if err != nil {
+		_ = b.Recycle(slot)
+		return nil, http.StatusInternalServerError,
+			fmt.Sprintf("instantiating: %v", err)
+	}
+	return inst, 0, ""
+}
+
+// retire decides a successfully-used instance's fate: pin it warm
+// under the current per-backend target, or close it (recycling the
+// slot). Shrunken targets are enforced here too — on the owning
+// goroutine — so an autoscaler shrink lands the next time the worker
+// completes any request.
+func (w *worker) retire(key warmKey, inst *rt.Instance) {
+	for kind, target := range w.s.WarmTargets() {
+		if kind == key.kind {
+			continue // put enforces this kind's target below
+		}
+		if n := w.warm.trim(kind, target); n > 0 {
+			w.s.met.warmEvictions.Add(uint64(n))
+			w.s.met.warmPinned.Add(int64(-n))
+		}
+	}
+	pinned, evicted := w.warm.put(key, inst, w.s.WarmTarget(key.kind))
+	if evicted > 0 {
+		w.s.met.warmEvictions.Add(uint64(evicted))
+		w.s.met.warmPinned.Add(int64(-evicted))
+	}
+	if pinned {
+		w.s.met.warmPinned.Add(1)
+	} else {
+		inst.Close()
+	}
 }
 
 // attributeInvoke splits the wall time of one Invoke into transition-in,

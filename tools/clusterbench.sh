@@ -1,0 +1,146 @@
+#!/bin/sh
+# Cluster benchmark: drive the same seeded trace (bursty arrivals,
+# heavy-tailed batches, 3-kernel mix) through a supervised cluster once
+# per isolation backend, and record a "cluster" section in
+# SERVE_results.json: per-backend trace step results plus the
+# warm-instance density table the paper's scalability argument turns on.
+#
+# Density = pinned warm instances per OS process. ColorGuard pins many
+# instances inside each worker process (same-address-space slots);
+# multiproc is process-per-instance by construction, so every pinned
+# instance is a whole process. Same trace, same seed for both, so the
+# simulated latency percentiles are comparable.
+#
+# Knobs from the environment:
+#
+#	WORKERS=2              worker processes per run
+#	BACKENDS="colorguard multiproc"
+#	RPS=20 PEAK=150        trace base/peak rates (req/s)
+#	SECONDS_PER_STEP=3     trace duration per backend
+#	SEED=11                trace seed (arrivals, mix, batches)
+#	OUT=SERVE_results.json merged output (cluster key added/replaced)
+#
+# Run from the repository root: sh tools/clusterbench.sh
+set -eu
+
+WORKERS=${WORKERS:-2}
+BACKENDS=${BACKENDS:-"colorguard multiproc"}
+RPS=${RPS:-20}
+PEAK=${PEAK:-150}
+SECONDS_PER_STEP=${SECONDS_PER_STEP:-3}
+SEED=${SEED:-11}
+OUT=${OUT:-SERVE_results.json}
+MIX="regex-filtering:6,hash-load-balance:3,html-templating:1"
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/faasd" ./cmd/faasd
+go build -o "$tmp/faasrouter" ./cmd/faasrouter
+go build -o "$tmp/faasload" ./cmd/faasload
+
+for backend in $BACKENDS; do
+	rm -f "$tmp/router.addr"
+	mkdir -p "$tmp/$backend"
+	"$tmp/faasrouter" -faasd "$tmp/faasd" -n "$WORKERS" -dir "$tmp/$backend" \
+		-addr 127.0.0.1:0 -addrfile "$tmp/router.addr" \
+		-scaleinterval 300ms -growmisses 2 \
+		-workerargs "-slots 8" >"$tmp/$backend/router.log" 2>&1 &
+	pid=$!
+	i=0
+	while [ ! -s "$tmp/router.addr" ]; do
+		i=$((i + 1))
+		if [ "$i" -gt 200 ]; then
+			echo "clusterbench: faasrouter never published its address" >&2
+			cat "$tmp/$backend/router.log" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+	addr=$(cat "$tmp/router.addr")
+	echo "clusterbench: $backend cluster on $addr ($WORKERS workers)"
+
+	"$tmp/faasload" -url "http://$addr" -backend "$backend" \
+		-shape bursty -rps "$RPS" -peak "$PEAK" -seconds "$SECONDS_PER_STEP" \
+		-seed "$SEED" -mix "$MIX" -json "$tmp/$backend/load.json"
+
+	# Scrape router counters and per-worker warm state before teardown.
+	python3 - "$addr" "$backend" "$tmp" <<'EOF'
+import json, sys, urllib.request
+addr, backend, tmp = sys.argv[1:4]
+router = json.load(urllib.request.urlopen(f"http://{addr}/metrics"))
+workers = json.load(urllib.request.urlopen(f"http://{addr}/workers"))
+pinned = 0
+for url in workers.values():
+    h = json.load(urllib.request.urlopen(f"{url}/healthz"))
+    pinned += h["warm"]["pinned"]
+with open(f"{tmp}/{backend}/scrape.json", "w") as f:
+    json.dump({"pinned": pinned, "workers": len(workers),
+               "router_counters": router["counters"]}, f)
+EOF
+
+	kill -TERM "$pid"
+	i=0
+	while kill -0 "$pid" 2>/dev/null; do
+		i=$((i + 1))
+		[ "$i" -gt 200 ] && break
+		sleep 0.1
+	done
+	pid=""
+done
+
+# Merge the per-backend results into OUT's "cluster" section and check
+# the density claim: at matched trace (same seed, so comparable sim
+# p99), colorguard must sustain more warm instances per process than
+# multiproc, whose every pinned instance is its own process.
+python3 - "$tmp" "$OUT" "$WORKERS" "$SEED" $BACKENDS <<'EOF'
+import json, os, sys
+tmp, out, workers, seed = sys.argv[1:5]
+backends = sys.argv[5:]
+doc = {}
+if os.path.exists(out):
+    with open(out) as f:
+        doc = json.load(f)
+cluster = {"workers": int(workers), "seed": int(seed),
+           "steps": {}, "density": {}, "autoscale": {}}
+for b in backends:
+    with open(f"{tmp}/{b}/load.json") as f:
+        load = json.load(f)
+    with open(f"{tmp}/{b}/scrape.json") as f:
+        scrape = json.load(f)
+    step = load["steps"][0]
+    cluster["steps"][b] = step
+    pinned = scrape["pinned"]
+    # Same-process backends host all of a worker's pinned instances in
+    # one OS process; multiproc dedicates a process per instance.
+    processes = pinned if b == "multiproc" else scrape["workers"]
+    cluster["density"][b] = {
+        "pinned": pinned,
+        "processes": processes,
+        "instances_per_process": pinned / processes if processes else 0.0,
+    }
+    rc = scrape["router_counters"]
+    cluster["autoscale"][b] = {
+        "grow": rc.get("cluster.autoscale.grow", 0),
+        "shrink": rc.get("cluster.autoscale.shrink", 0),
+        "ticks": rc.get("cluster.autoscale.ticks", 0),
+    }
+    print(f"clusterbench: {b}: {pinned} warm pinned / {processes} processes "
+          f"= {cluster['density'][b]['instances_per_process']:.1f} per process, "
+          f"sim p99 {step['sim_p99_us']:.2f}us, wall p99 {step['p99_ms']:.2f}ms")
+if "colorguard" in cluster["density"] and "multiproc" in cluster["density"]:
+    cg = cluster["density"]["colorguard"]["instances_per_process"]
+    mp = cluster["density"]["multiproc"]["instances_per_process"]
+    assert cg > mp, f"colorguard density {cg} not above multiproc {mp}"
+    print(f"clusterbench: density colorguard {cg:.1f} > multiproc {mp:.1f} per process")
+doc["cluster"] = cluster
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+EOF
+echo "clusterbench: cluster section written to $OUT"

@@ -1,0 +1,122 @@
+#!/bin/sh
+# Cluster smoke test: boot faasrouter supervising 3 faasd workers on
+# ephemeral ports, prove the cluster path end to end — the router's
+# /healthz shows all workers up, a faasload burst through the router
+# completes with zero routing-layer failures, a short bursty trace
+# makes the telemetry-driven autoscaler record grow decisions
+# (cluster.autoscale.grow), repeat traffic hits the workers' keep-warm
+# pools — then SIGTERM and require a clean drain (exit 0).
+#
+# Run from the repository root: sh tools/clustersmoke.sh
+set -eu
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/faasd" ./cmd/faasd
+go build -o "$tmp/faasrouter" ./cmd/faasrouter
+go build -o "$tmp/faasload" ./cmd/faasload
+
+"$tmp/faasrouter" -faasd "$tmp/faasd" -n 3 -dir "$tmp" \
+	-addr 127.0.0.1:0 -addrfile "$tmp/router.addr" \
+	-scaleinterval 300ms -growmisses 2 >"$tmp/router.log" 2>&1 &
+pid=$!
+
+i=0
+while [ ! -s "$tmp/router.addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 200 ]; then
+		echo "clustersmoke: faasrouter never published its address" >&2
+		cat "$tmp/router.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+addr=$(cat "$tmp/router.addr")
+echo "clustersmoke: faasrouter on $addr"
+
+# All three supervised workers must be registered and healthy.
+python3 - "$addr" <<'EOF'
+import json, sys, urllib.request
+addr = sys.argv[1]
+h = json.load(urllib.request.urlopen(f"http://{addr}/healthz"))
+workers = h["workers"]
+assert len(workers) == 3, workers
+assert all(w["healthy"] for w in workers), workers
+print(f"clustersmoke: {len(workers)} workers healthy")
+EOF
+
+# Burst through the router: faasload -smoke exits 1 on any error, so a
+# routing-layer 5xx (502 no-healthy-worker) fails the script here.
+"$tmp/faasload" -url "http://$addr" -smoke -count 30
+
+# Trace-driven bursty load across a kernel mix: the cold-start bursts
+# are the autoscaler's grow signal.
+"$tmp/faasload" -url "http://$addr" -shape bursty -rps 20 -peak 200 \
+	-seconds 3 -seed 7 -mix "regex-filtering:6,hash-load-balance:3,html-templating:1"
+
+# The autoscaler ticks every 300ms; give it a moment to see the burst's
+# cold-start delta, then require grow decisions and zero routing 5xx.
+python3 - "$addr" <<'EOF'
+import json, sys, time, urllib.request
+addr = sys.argv[1]
+for _ in range(40):
+    m = json.load(urllib.request.urlopen(f"http://{addr}/metrics"))
+    if m["counters"].get("cluster.autoscale.grow", 0) >= 1:
+        break
+    time.sleep(0.25)
+c = m["counters"]
+assert c.get("cluster.autoscale.grow", 0) >= 1, c
+assert c.get("cluster.autoscale.ticks", 0) >= 2, c
+assert c.get("cluster.router.no_worker", 0) == 0, c
+assert c.get("cluster.router.requests", 0) >= 30, c
+assert c.get("cluster.router.proxied", 0) >= 30, c
+print(f"clustersmoke: {c['cluster.router.proxied']} proxied, "
+      f"{c['cluster.autoscale.grow']} grow decisions, zero routing 5xx")
+EOF
+
+# Affinity: repeats of one key land on one worker's keep-warm pool.
+# The router's /workers lists the worker base URLs; after a repeat
+# burst, cluster-wide warm hits must be positive.
+"$tmp/faasload" -url "http://$addr" -smoke -count 12 -kernel regex-filtering
+python3 - "$addr" <<'EOF'
+import json, sys, urllib.request
+addr = sys.argv[1]
+workers = json.load(urllib.request.urlopen(f"http://{addr}/workers"))
+hits = 0
+for url in workers.values():
+    m = json.load(urllib.request.urlopen(f"{url}/metrics"))
+    hits += m["counters"].get("server.warm.hits", 0)
+assert hits >= 10, f"cluster-wide warm hits = {hits}"
+print(f"clustersmoke: {hits} keep-warm hits across the cluster")
+EOF
+
+# Graceful drain: SIGTERM, workers drain, router exits 0.
+kill -TERM "$pid"
+i=0
+while kill -0 "$pid" 2>/dev/null; do
+	i=$((i + 1))
+	if [ "$i" -gt 200 ]; then
+		echo "clustersmoke: faasrouter did not drain within 20s" >&2
+		cat "$tmp/router.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+if ! wait "$pid"; then
+	echo "clustersmoke: faasrouter exited non-zero after SIGTERM" >&2
+	cat "$tmp/router.log" >&2
+	exit 1
+fi
+pid=""
+grep -q "drained" "$tmp/router.log" || {
+	echo "clustersmoke: no drain line in the log" >&2
+	cat "$tmp/router.log" >&2
+	exit 1
+}
+echo "clustersmoke: clean drain"

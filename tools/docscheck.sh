@@ -48,13 +48,25 @@ for f in faultrate faultseed timeout retries shed backend scheme coldstart laten
     echo "$flags" | grep -q -- "-$f" || err "faassim flag -$f (documented) missing"
 done
 flags=$(go run ./cmd/faasd -help 2>&1 || true)
-for f in addr addrfile kernels backend scheme shards workers queue maxinflight slots timeout breakerfails tier spans trace; do
+for f in addr addrfile kernels backend scheme shards workers queue maxinflight slots warm timeout breakerfails tier spans trace; do
     echo "$flags" | grep -q -- "-$f" || err "faasd flag -$f (documented) missing"
 done
 flags=$(go run ./cmd/faasload -help 2>&1 || true)
-for f in url kernel scheme rps seconds ramp json smoke strict; do
+for f in url kernel scheme rps seconds ramp json smoke strict shape peak period burstlen burstgap mix alpha nmax seed; do
     echo "$flags" | grep -q -- "-$f" || err "faasload flag -$f (documented) missing"
 done
+flags=$(go run ./cmd/faasrouter -help 2>&1 || true)
+for f in addr addrfile faasd n workerargs attach dir vnodes spread loadfactor autoscale scaleinterval growmisses idleticks cooldownticks maxwarm draintimeout; do
+    echo "$flags" | grep -q -- "-$f" || err "faasrouter flag -$f (documented) missing"
+done
+
+# --- operator's guide ----------------------------------------------------
+[ -f docs/OPERATIONS.md ] || err "docs/OPERATIONS.md missing"
+grep -q 'OPERATIONS\.md' README.md || err "README.md does not link docs/OPERATIONS.md"
+for f in loadfactor scaleinterval growmisses idleticks maxwarm; do
+    grep -q -- "-$f" docs/OPERATIONS.md || err "OPERATIONS.md does not document faasrouter -$f"
+done
+grep -q 'cluster-bench' EXPERIMENTS.md || err "EXPERIMENTS.md does not document cluster-bench"
 
 # --- 4. documented invocations run (smoke mode) -------------------------
 smoke() {
