@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet ci docscheck bench-smoke bench results benchdiff benchgate fuse-bench serve-smoke serve-bench trace-smoke span-bench cluster-smoke cluster-bench
+.PHONY: build test race vet ci docscheck bench-smoke bench results benchdiff benchgate benchgate-smoke fuse-bench serve-smoke serve-bench trace-smoke span-bench cluster-smoke cluster-bench
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,7 @@ ci:
 	sh tools/clustersmoke.sh
 	$(MAKE) fuse-bench
 	$(MAKE) span-bench
+	$(MAKE) benchgate-smoke
 	$(MAKE) benchgate
 
 # Documentation gate: package comments present, ARCHITECTURE.md linked
@@ -64,6 +65,13 @@ benchdiff:
 # 0) rather than gate, so only a genuine same-tier slowdown blocks.
 benchgate:
 	sh tools/benchdiff.sh -gate 10
+
+# Gate self-test on synthetic histories: newline-robust record counting
+# (a two-record history without a trailing newline must still gate),
+# fail on >threshold regressions, pass in-threshold ones, skip on tier
+# mismatches and single-record histories.
+benchgate-smoke:
+	sh tools/benchgatesmoke.sh
 
 # Fused-tier smoke: the superinstruction tier must not be slower than
 # the predecoded tier on a real kernel (1.2x guard band for CI noise).

@@ -36,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -44,6 +45,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/isolation"
 	"repro/internal/server"
+	"repro/internal/sfi"
 	"repro/internal/telemetry"
 )
 
@@ -53,6 +55,7 @@ func main() {
 	kernels := flag.String("kernels", "", "comma-separated kernels to serve (default: all FaaS kernels)")
 	backend := flag.String("backend", "", "default isolation backend when a request names none (default colorguard)")
 	scheme := flag.String("scheme", "", "default transition scheme when a request names none (default, zerocost, onestack, trampoline)")
+	hardenFlag := flag.String("harden", "none", "Spectre hardening for served kernels (none, swivel-sfi, swivel-cet, deterministic)")
 	shards := flag.Int("shards", 0, "dispatcher shards (default: min(NumCPU, 8))")
 	workers := flag.Int("workers", 0, "worker goroutines per shard (default 1)")
 	queue := flag.Int("queue", 0, "bounded queue depth per shard (default 64)")
@@ -80,6 +83,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "faasd: -scheme %s: %v\n", *scheme, err)
 		os.Exit(2)
 	}
+	harden, err := sfi.ParseHarden(*hardenFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faasd: -harden %s: %v\n", *hardenFlag, err)
+		os.Exit(2)
+	}
+	sfi.SetDefaultHarden(harden)
 
 	if err := validate(*shards, *workers, *queue, *maxInFlight, *slots, *warm, *timeout, *breakerFails, *breakerOpen, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "faasd:", err)
@@ -122,7 +131,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *addrFile != "" {
-		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+		if err := writeAddrFile(*addrFile, ln.Addr().String()); err != nil {
 			fmt.Fprintln(os.Stderr, "faasd:", err)
 			os.Exit(1)
 		}
@@ -170,6 +179,31 @@ func main() {
 	st := s.Stats()
 	fmt.Fprintf(os.Stderr, "[faasd drained: %d served, %d completed, %d shed, %d timeouts, %d failed]\n",
 		st.Requests, st.Completed, st.Shed, st.Timeouts, st.Failed)
+}
+
+// writeAddrFile publishes the bound address atomically: a supervisor
+// polling the path must never observe a partially written file, so the
+// address goes to a temp file in the same directory first and lands via
+// rename (atomic on POSIX filesystems).
+func writeAddrFile(path, addr string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write([]byte(addr)); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 // writeTrace flushes the process tracer to path, warning when the ring

@@ -42,6 +42,7 @@ func main() {
 	duration := flag.Float64("seconds", 2, "simulated seconds")
 	backend := flag.String("backend", "", "isolation backend replacing the default colorguard side (guardpage, colorguard, mte, multiproc)")
 	scheme := flag.String("scheme", "", "transition scheme for both sides (default, zerocost, onestack, trampoline)")
+	hardenFlag := flag.String("harden", "none", "Spectre hardening for the measured kernels (none, swivel-sfi, swivel-cet, deterministic)")
 	coldStart := flag.Bool("coldstart", false, "fresh instance per request: charge the backend's init/teardown costs (§7)")
 	instanceKB := flag.Uint64("instancekb", 64, "linear-memory KiB the cold-start lifecycle costs are charged on")
 	preserveTags := flag.Bool("preservetags", false, "model the tag-preserving madvise (mte backend only)")
@@ -73,6 +74,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "faassim: -scheme %s: %v\n", *scheme, err)
 		os.Exit(2)
 	}
+	harden, err := sfi.ParseHarden(*hardenFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faassim: -harden %s: %v\n", *hardenFlag, err)
+		os.Exit(2)
+	}
+	sfi.SetDefaultHarden(harden)
 
 	// Any armed knob turns the fault machinery on for both sides of the
 	// comparison; faultConfig scales the base rate into each backend's

@@ -33,8 +33,14 @@ var modeByName = map[string]sfi.Mode{
 func main() {
 	kernel := flag.String("kernel", "", "compile a benchmark kernel (e.g. sieve, 429_mcf) instead of the Figure 1 demo")
 	modeName := flag.String("mode", "", "single mode to print (default: native, guard, segue side by side)")
+	hardenFlag := flag.String("harden", "none", "Spectre hardening in the listing (none, swivel-sfi, swivel-cet, deterministic)")
 	tele := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	harden, err := sfi.ParseHarden(*hardenFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sfic: -harden %s: %v\n", *hardenFlag, err)
+		os.Exit(2)
+	}
 	if err := tele.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "sfic:", err)
 		os.Exit(1)
@@ -63,12 +69,18 @@ func main() {
 	}
 
 	for _, mode := range modes {
-		prog, _, err := sfi.Compile(m, sfi.DefaultConfig(mode))
+		cfg := sfi.DefaultConfig(mode)
+		cfg.Harden = harden
+		prog, _, err := sfi.Compile(m, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sfic: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("---- %s (total %d bytes) ----\n", mode, prog.CodeBytes())
+		title := mode.String()
+		if harden != sfi.HardenNone {
+			title += "+" + harden.String()
+		}
+		fmt.Printf("---- %s (total %d bytes) ----\n", title, prog.CodeBytes())
 		for _, f := range prog.Funcs {
 			fmt.Print(sfi.Disassemble(f))
 		}

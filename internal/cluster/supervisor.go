@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -232,7 +233,11 @@ func (s *Supervisor) Stop() {
 }
 
 // waitForAddr polls for the address file the worker writes once its
-// listener is bound.
+// listener is bound. Content that does not parse as host:port is
+// treated the same as an absent file and polling continues: even
+// though the worker publishes via rename, the path may be written
+// directly by older workers or by hand, and accepting a torn read
+// here would hand the router a garbage address.
 func waitForAddr(path string, timeout time.Duration) (string, error) {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
@@ -242,9 +247,11 @@ func waitForAddr(path string, timeout time.Duration) (string, error) {
 			for len(addr) > 0 && (addr[len(addr)-1] == '\n' || addr[len(addr)-1] == ' ') {
 				addr = addr[:len(addr)-1]
 			}
-			return addr, nil
+			if _, port, err := net.SplitHostPort(addr); err == nil && port != "" {
+				return addr, nil
+			}
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	return "", fmt.Errorf("no address in %s after %s", path, timeout)
+	return "", fmt.Errorf("no valid host:port address in %s after %s", path, timeout)
 }

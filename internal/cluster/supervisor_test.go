@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync"
 	"syscall"
 	"testing"
@@ -138,5 +139,59 @@ func TestSupervisorRestart(t *testing.T) {
 	}
 	if downs["worker-0"] < 1 {
 		t.Fatalf("OnDown never fired: %v", downs)
+	}
+}
+
+// TestWaitForAddrRejectsTornWrite: the addrfile handoff must not hand
+// the router a partially written address. The writer exposes the torn
+// intermediate states a non-atomic os.WriteFile could leave behind
+// while waitForAddr polls, then publishes the complete address the way
+// the fixed faasd does — temp file + rename. waitForAddr must skip
+// every torn state and return only the complete host:port.
+func TestWaitForAddrRejectsTornWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "worker.addr")
+	const full = "127.0.0.1:43211"
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, torn := range []string{"1", "127.0", "127.0.0.1", "127.0.0.1:"} {
+			if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(40 * time.Millisecond)
+		}
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, []byte(full+"\n"), 0o644); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	got, err := waitForAddr(path, 15*time.Second)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != full {
+		t.Fatalf("waitForAddr returned %q (a torn read?), want %q", got, full)
+	}
+}
+
+// TestWaitForAddrTimesOutOnGarbage: content that never parses as
+// host:port is indistinguishable from an absent file — waitForAddr
+// must keep polling and report a timeout, not return the garbage.
+func TestWaitForAddrTimesOutOnGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "worker.addr")
+	if err := os.WriteFile(path, []byte("not-an-address\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := waitForAddr(path, 150*time.Millisecond); err == nil {
+		t.Fatalf("waitForAddr accepted garbage content %q", got)
 	}
 }

@@ -30,6 +30,15 @@ type CostModel struct {
 	WRGSBASE float64 // FSGSBASE user instruction
 	Epoch    float64 // epoch check (cmp+jcc pair)
 
+	// Spectre-hardening pseudo-op costs (Swivel-style). Endbr is the
+	// CET landing pad (near-free decode slot), BTBFlush the
+	// indirect-predictor barrier Swivel-SFI pays on untrusted indirect
+	// transfers, Interlock the register-interlock / SLH mask applied to
+	// speculatively loaded values.
+	Endbr     float64
+	BTBFlush  float64
+	Interlock float64
+
 	Mispredict  float64 // branch misprediction penalty
 	TLBMiss     float64 // 4-level page-table walk
 	L2Hit       float64 // L1 miss, L2 hit
@@ -66,6 +75,10 @@ func DefaultCostModel() CostModel {
 		WRPKRU:   44.0,
 		WRGSBASE: 3.0,
 		Epoch:    0.5,
+
+		Endbr:     0.25,
+		BTBFlush:  30.0,
+		Interlock: 0.75,
 
 		Mispredict:  14.0,
 		TLBMiss:     22.0,
@@ -105,6 +118,12 @@ func (c *CostModel) opCost(op x86.Op) float64 {
 		return c.WRGSBASE
 	case x86.EPOCH:
 		return c.Epoch
+	case x86.ENDBR:
+		return c.Endbr
+	case x86.BTBFLUSH:
+		return c.BTBFlush
+	case x86.INTERLOCK:
+		return c.Interlock
 	default:
 		return c.ALU
 	}

@@ -926,6 +926,9 @@ func (m *Machine) runSlow() error {
 				return m.trap(TrapEpoch, 0)
 			}
 
+		case x86.ENDBR, x86.BTBFLUSH, x86.INTERLOCK:
+			// Hardening pseudo-ops: architecturally inert, cost only.
+
 		case x86.WRGSBASE:
 			m.GSBase = m.Regs[in.Dst.Reg]
 		case x86.RDGSBASE:

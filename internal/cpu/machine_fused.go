@@ -720,6 +720,9 @@ frames:
 					return m.trap(TrapEpoch, 0)
 				}
 
+			case x86.ENDBR, x86.BTBFLUSH, x86.INTERLOCK:
+				// Hardening pseudo-ops: architecturally inert, cost only.
+
 			case x86.WRGSBASE:
 				m.GSBase = m.Regs[in.dst.reg]
 			case x86.RDGSBASE:

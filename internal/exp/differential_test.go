@@ -54,6 +54,8 @@ func TestGoldenTables(t *testing.T) {
 		"ablation-guards",
 		"ablation-stripes",
 		"faultsweep",
+		"backend-matrix",
+		"hardening",
 	} {
 		id := id
 		t.Run(id, func(t *testing.T) { checkGolden(t, id) })

@@ -208,6 +208,7 @@ func All() []Experiment {
 		{"table1", "Allocator-layout verification (Table 1 / §5.2)", Table1Verification},
 		{"mte", "ColorGuard on ARM MTE (§7)", MTEObservations},
 		{"backend-matrix", "Isolation-backend cost and density matrix", BackendMatrix},
+		{"hardening", "Spectre-hardening tax across SFI modes and backends (Swivel)", SwivelHardening},
 		{"faultsweep", "Fault injection and graceful degradation by backend", FaultSweep},
 		{"ablation-segue", "Ablation: decomposing Segue's benefits", AblationSegueParts},
 		{"ablation-guards", "Ablation: guard geometry vs density", AblationGuardGeometry},

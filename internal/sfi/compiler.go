@@ -92,6 +92,12 @@ func (m Mode) controlFlowSFI() bool { return m == ModeLFI || m == ModeLFISegue }
 type Config struct {
 	Mode Mode
 
+	// Harden selects the Spectre-hardening scheme, orthogonal to Mode.
+	// HardenNone (the zero value) emits nothing and compiles
+	// byte-identical code to a pre-hardening build. Ignored under
+	// ModeNative, which models trusted code.
+	Harden Harden
+
 	// SegueLoadsOnly applies segment addressing to loads only; stores
 	// use the classic scheme (WAMR's tuning knob from §4.2/§6.2).
 	SegueLoadsOnly bool
@@ -140,10 +146,15 @@ type Config struct {
 }
 
 // DefaultConfig returns a Config for the given mode with folding
-// enabled and a 1 GiB disp-fold limit (covered by the runtime's
-// default guard regions).
+// enabled, a 1 GiB disp-fold limit (covered by the runtime's default
+// guard regions), and the process-wide default hardening scheme.
 func DefaultConfig(mode Mode) Config {
-	return Config{Mode: mode, FoldOperandSlot: true, FoldDispLimit: 1 << 30}
+	return Config{
+		Mode:            mode,
+		Harden:          DefaultHarden(),
+		FoldOperandSlot: true,
+		FoldDispLimit:   1 << 30,
+	}
 }
 
 // PinsR15 reports whether compiled code expects the heap base in R15
@@ -216,6 +227,10 @@ var ctrCompiles = telemetry.Default.Counter("sfi.compiles")
 
 func Compile(m *ir.Module, cfg Config) (*cpu.Program, *Meta, error) {
 	ctrCompiles.Inc()
+	if cfg.Harden >= numHardens {
+		return nil, nil, fmt.Errorf("sfi: unknown harden mode %d", uint8(cfg.Harden))
+	}
+	ctrHardens[cfg.Harden].Inc()
 	if !m.Validated() {
 		if err := m.Validate(); err != nil {
 			return nil, nil, err

@@ -129,6 +129,15 @@ func newFnCompiler(m *ir.Module, f *ir.Func, cfg Config, meta *Meta) *fnc {
 
 func (fc *fnc) emit(in x86.Inst) { fc.insts = append(fc.insts, in) }
 
+// harden returns the effective hardening scheme: the configured one,
+// except under ModeNative (trusted code is never instrumented).
+func (fc *fnc) harden() Harden {
+	if fc.cfg.Mode == ModeNative {
+		return HardenNone
+	}
+	return fc.cfg.Harden
+}
+
 func (fc *fnc) newLabel() int {
 	fc.labels = append(fc.labels, -1)
 	return len(fc.labels) - 1
@@ -488,7 +497,11 @@ func (fc *fnc) compile() (*cpu.Func, error) {
 	fc.localRegs = fc.localRegs[:nextReg] // only pin what is used
 	fc.numSaved = len(fc.localRegs)
 
-	// Prologue.
+	// Prologue. CET-style schemes land every function entry on an
+	// endbranch pad (entries are indirect-call targets via the table).
+	if fc.harden().endbrEntry() {
+		fc.emit(x86.Inst{Op: x86.ENDBR})
+	}
 	fc.emit(x86.Inst{Op: x86.PUSH, Dst: x86.R(x86.RBP)})
 	fc.emit(x86.Inst{Op: x86.MOV, W: x86.W64, Dst: x86.R(x86.RBP), Src: x86.R(x86.RSP)})
 	for _, r := range fc.localRegs {
@@ -575,6 +588,11 @@ func (fc *fnc) compile() (*cpu.Func, error) {
 	}
 	fc.emit(x86.Inst{Op: x86.MOV, W: x86.W64, Dst: x86.R(x86.RSP), Src: x86.R(x86.RBP)})
 	fc.emit(x86.Inst{Op: x86.POP, Dst: x86.R(x86.RBP)})
+	if fc.harden().flushesIndirect() {
+		// Swivel-SFI treats the return as an untrusted indirect
+		// transfer: flush the indirect predictors before it.
+		fc.emit(x86.Inst{Op: x86.BTBFLUSH})
+	}
 	fc.emit(x86.Inst{Op: x86.RET})
 
 	// Patch the frame size and resolve labels.

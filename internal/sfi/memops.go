@@ -51,6 +51,11 @@ func (fc *fnc) compileLoad(pc int, in ir.Inst) error {
 		return err
 	}
 	fc.pop() // the address entry (registers it used are now free)
+	if fc.harden().masksLoads() {
+		// Interlock / SLH mask: delay the sandbox load until the
+		// bounds condition resolves (Swivel's register interlock).
+		fc.emit(x86.Inst{Op: x86.INTERLOCK})
+	}
 	op, w, srcW := loadInstFor(in.Op)
 	switch in.Op {
 	case ir.OpF64Load:
@@ -103,6 +108,10 @@ func (fc *fnc) compileStore(pc int, in ir.Inst) error {
 	}
 	fc.vstack = fc.vstack[:n-2]
 
+	if fc.harden().masksStores() {
+		// Deterministic SLH masks store addresses too.
+		fc.emit(x86.Inst{Op: x86.INTERLOCK})
+	}
 	switch {
 	case in.Op == ir.OpF64Store:
 		fc.emit(x86.Inst{Op: x86.MOVSD, Dst: x86.M(mem), Src: x86.X(valXmm)})

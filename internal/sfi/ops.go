@@ -39,6 +39,12 @@ func (fc *fnc) step(pc int, in ir.Inst, epilog int) error {
 		if fc.cfg.EpochChecks {
 			fc.emit(x86.Inst{Op: x86.EPOCH})
 		}
+		if fc.harden().interlocksBackEdges() {
+			// Swivel-SFI linear-block discipline: the loop header ends
+			// a speculation-relevant block, so re-establish the
+			// register interlock here.
+			fc.emit(x86.Inst{Op: x86.INTERLOCK})
+		}
 	case ir.OpIf:
 		cond := fc.popCond()
 		fc.spillVolatile()
@@ -74,6 +80,9 @@ func (fc *fnc) step(pc int, in ir.Inst, epilog int) error {
 		defLbl, err := fc.branchTargetLabel(int(in.Imm))
 		if err != nil {
 			return err
+		}
+		if fc.harden().flushesIndirect() {
+			fc.emit(x86.Inst{Op: x86.BTBFLUSH})
 		}
 		fc.emit(x86.Inst{Op: x86.JTAB, Dst: x86.R(idx), Src: x86.Label(defLbl), Targets: targets})
 		fc.dead = true
@@ -380,6 +389,11 @@ func (fc *fnc) compileCallIndirect(sigIdx int) error {
 		// target (modeled on a scratch copy).
 		fc.emit(x86.Inst{Op: x86.MOV, W: x86.W32, Dst: x86.R(x86.R11), Src: x86.R(x86.R10)})
 		fc.emit(x86.Inst{Op: x86.ADD, W: x86.W64, Dst: x86.R(x86.R11), Src: x86.R(heapReg)})
+	}
+	if fc.harden().flushesIndirect() {
+		// Swivel-SFI: flush the indirect predictors before an
+		// untrusted indirect call.
+		fc.emit(x86.Inst{Op: x86.BTBFLUSH})
 	}
 	fc.emit(x86.Inst{Op: x86.CALLREG, Dst: x86.R(x86.R10), Src: x86.Imm(int64(sigIdx))})
 	fc.pushCallResult(sig)

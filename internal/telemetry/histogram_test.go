@@ -1,6 +1,9 @@
 package telemetry
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 // TestHistogramQuantileEmpty: an empty histogram reports 0 for every
 // quantile rather than interpolating garbage.
@@ -32,6 +35,59 @@ func TestHistogramQuantileSingle(t *testing.T) {
 		if got := h.Quantile(c.q); got != c.want {
 			t.Errorf("single-observation Quantile(%g) = %g, want %g", c.q, got, c.want)
 		}
+	}
+}
+
+// TestHistogramQuantileEmptyInterior: empty buckets between the
+// cumulative rank and the target must not absorb the quantile. When
+// the target equals the running cumulative count, every empty bucket
+// satisfies cum+n >= target — the `n > 0` guard must skip them (a
+// naive interpolation would divide by zero there) so the estimate
+// lands in the next populated bucket.
+func TestHistogramQuantileEmptyInterior(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30, 40, 50})
+	for i := 0; i < 5; i++ {
+		h.Observe(45) // bucket (40, 50]; all four lower buckets stay empty
+	}
+	// q=0 → target 0 = cum at every leading empty bucket: each matches
+	// cum+0 >= 0 and must be skipped, landing rank 0 exactly on the
+	// populated bucket's lower bound rather than interpolating 0/0.
+	if got := h.Quantile(0); got != 40 {
+		t.Errorf("Quantile(0) = %g, want 40 (skip empty buckets to the populated one)", got)
+	}
+	// Interior gap with data on both sides: the rank-boundary quantile
+	// resolves in the bucket that completes the rank, and ranks past it
+	// skip the empty middle.
+	for i := 0; i < 5; i++ {
+		h.Observe(5) // bucket (0, 10]; (10,20], (20,30], (30,40] still empty
+	}
+	if got := h.Quantile(0.5); got != 10 {
+		t.Errorf("Quantile(0.5) = %g, want 10 (rank boundary belongs to the lower bucket)", got)
+	}
+	// target = 0.6·10 = 6 crosses the three empty interior buckets and
+	// interpolates 1/5 of the way into (40, 50].
+	if got := h.Quantile(0.6); math.Abs(got-42) > 1e-9 {
+		t.Errorf("Quantile(0.6) = %g, want 42", got)
+	}
+	if got := h.Quantile(0.9); math.Abs(got-48) > 1e-9 {
+		t.Errorf("Quantile(0.9) = %g, want 48", got)
+	}
+}
+
+// TestHistogramQuantileSingleBucket: the q=0 and q=1 extremes on a
+// one-bucket histogram pin the interpolation endpoints — rank 0 is the
+// bucket's implicit lower bound 0, full rank its upper bound.
+func TestHistogramQuantileSingleBucket(t *testing.T) {
+	h := NewHistogram([]float64{10})
+	h.Observe(7)
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %g, want 0 (bucket's implicit lower bound)", got)
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Errorf("Quantile(1) = %g, want 10 (bucket's upper bound)", got)
+	}
+	if got := h.Quantile(0.5); got != 5 {
+		t.Errorf("Quantile(0.5) = %g, want 5", got)
 	}
 }
 

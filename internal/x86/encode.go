@@ -66,6 +66,10 @@ var opEncTable = map[Op]opEnc{
 	WRGSBASE: {fixedLen: 5}, RDGSBASE: {fixedLen: 5}, WRFSBASE: {fixedLen: 5},
 	WRPKRU: {fixedLen: 3}, RDPKRU: {fixedLen: 3},
 
+	ENDBR:     {fixedLen: 4}, // f3 0f 1e fa
+	BTBFLUSH:  {fixedLen: 8}, // wrmsr-based indirect-predictor barrier stub
+	INTERLOCK: {fixedLen: 4}, // cmov/lfence-style masking of a loaded value
+
 	MOVSD:     {opBytes: 2, mandPfx: 0xF2, modRM: true},
 	MINSD:     {opBytes: 2, mandPfx: 0xF2, modRM: true},
 	MAXSD:     {opBytes: 2, mandPfx: 0xF2, modRM: true},

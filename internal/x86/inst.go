@@ -92,6 +92,13 @@ const (
 	PADDD  // packed 32-bit add
 	PXOR   // packed xor
 
+	// Spectre-hardening pseudo-ops (Swivel-style). Architecturally inert:
+	// they mutate no machine state, only model the fetch/execute cost of
+	// the hardening sequences the sfi compiler would emit on real hardware.
+	ENDBR     // CET endbranch landing pad at indirect-transfer targets
+	BTBFLUSH  // pseudo: BTB flush before an indirect transfer (Swivel-SFI)
+	INTERLOCK // pseudo: register interlock / speculative-load-hardening mask
+
 	opCount
 )
 
@@ -117,6 +124,7 @@ var opNames = map[Op]string{
 	CVTSI2SD: "cvtsi2sd", CVTTSD2SI: "cvttsd2si",
 	MOVQXR: "movq", MOVQRX: "movq",
 	MOVDQU: "movdqu", PADDD: "paddd", PXOR: "pxor",
+	ENDBR: "endbr64", BTBFLUSH: "btb.flush", INTERLOCK: "interlock",
 }
 
 // String returns the Intel-syntax mnemonic.

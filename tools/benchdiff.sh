@@ -28,7 +28,11 @@ if [ ! -f "$hist" ]; then
     echo "benchdiff: $hist not found (run \`make results\` first)" >&2
     exit 1
 fi
-lines=$(wc -l < "$hist")
+# Count records as non-empty lines, not newlines: `wc -l` undercounts
+# by one when the final record lacks a trailing newline, which made a
+# valid two-record history report "need two to diff" (and the CI gate
+# silently skip). grep exits 1 on an all-blank file, so swallow that.
+lines=$(grep -c . "$hist" || true)
 if [ "$lines" -lt 2 ]; then
     if [ -n "$gate" ]; then
         echo "benchdiff: only $lines record(s) in $hist; gate skipped (need two to diff)" >&2

@@ -1,0 +1,92 @@
+#!/bin/sh
+# Benchgate smoke test: exercise tools/benchdiff.sh's gate semantics on
+# synthetic BENCH_history.jsonl fixtures without running any benchmark.
+# Covers the record-count regression specifically: a two-record history
+# whose final line lacks a trailing newline must still diff and gate
+# (`wc -l` would count it as one record and silently skip the gate).
+# Also proves the gate's verdict logic: a >threshold same-tier slowdown
+# fails, an in-threshold one passes, and tier-mismatched records skip.
+#
+# Run from the repository root: sh tools/benchgatesmoke.sh
+set -eu
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+rec() { # rec TIME TIER WALL -> one history record on stdout
+	printf '{"time":"%s","tier":"%s","results":[{"id":"transition","tier":"%s","wall_seconds":%s,"sim_cycles":1000}]}' \
+		"$1" "$2" "$2" "$3"
+}
+
+fail() {
+	echo "benchgatesmoke: $*" >&2
+	exit 1
+}
+
+# 1. Two records, no trailing newline after the second: must be seen as
+# two records (diff succeeds, gate passes on a speedup).
+hist="$tmp/no-trailing-newline.jsonl"
+{
+	rec 2026-01-01T00:00:00Z fused 2.0
+	printf '\n'
+	rec 2026-01-01T01:00:00Z fused 1.0
+} >"$hist"
+out=$(sh tools/benchdiff.sh -gate 10 "$hist" 2>&1) ||
+	fail "gate failed on a speedup with no trailing newline: $out"
+case "$out" in
+*"need two to diff"*) fail "two-record history miscounted as one: $out" ;;
+*"gate ok"*) ;;
+*) fail "expected 'gate ok' verdict, got: $out" ;;
+esac
+
+# 2. Same history shape, but the latest record regressed 50% (> 10%):
+# the gate must exit nonzero and name the experiment.
+hist="$tmp/regression.jsonl"
+{
+	rec 2026-01-01T00:00:00Z fused 1.0
+	printf '\n'
+	rec 2026-01-01T01:00:00Z fused 1.5
+} >"$hist"
+if out=$(sh tools/benchdiff.sh -gate 10 "$hist" 2>&1); then
+	fail "gate passed a 50% regression: $out"
+fi
+case "$out" in
+*"GATE: transition regressed"*) ;;
+*) fail "regression verdict missing from: $out" ;;
+esac
+
+# 3. A regression inside the threshold must pass.
+hist="$tmp/in-threshold.jsonl"
+{
+	rec 2026-01-01T00:00:00Z fused 1.0
+	printf '\n'
+	rec 2026-01-01T01:00:00Z fused 1.05
+} >"$hist"
+out=$(sh tools/benchdiff.sh -gate 10 "$hist" 2>&1) ||
+	fail "gate failed a 5% regression under a 10% threshold: $out"
+
+# 4. Records from different tiers never gate, even on a huge slowdown.
+hist="$tmp/tier-mismatch.jsonl"
+{
+	rec 2026-01-01T00:00:00Z fast 1.0
+	printf '\n'
+	rec 2026-01-01T01:00:00Z fused 10.0
+} >"$hist"
+out=$(sh tools/benchdiff.sh -gate 10 "$hist" 2>&1) ||
+	fail "gate failed on a tier mismatch (should skip): $out"
+case "$out" in
+*"tiers differ"*) ;;
+*) fail "expected tier-mismatch skip, got: $out" ;;
+esac
+
+# 5. A genuinely single-record history still skips the gate (exit 0).
+hist="$tmp/single.jsonl"
+rec 2026-01-01T00:00:00Z fused 1.0 >"$hist"
+out=$(sh tools/benchdiff.sh -gate 10 "$hist" 2>&1) ||
+	fail "gate failed on a single-record history (should skip): $out"
+case "$out" in
+*"gate skipped"*) ;;
+*) fail "expected single-record skip, got: $out" ;;
+esac
+
+echo "benchgatesmoke: ok (newline-robust record count, gate verdicts, tier skip)"

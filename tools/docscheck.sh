@@ -36,19 +36,19 @@ done
 # --- 3. advertised ids and flags exist ----------------------------------
 go build ./... || err "go build failed"
 ids=$(go run ./cmd/benchtab -list)
-for id in transition transitions scaling faultsweep backend-matrix attribution; do
+for id in transition transitions scaling faultsweep backend-matrix attribution hardening; do
     echo "$ids" | grep -q "^$id " || err "experiment id $id (documented) not in benchtab -list"
 done
 flags=$(go run ./cmd/benchtab -help 2>&1 || true)
-for f in tier scheme history compare results metrics trace pprof j; do
+for f in tier scheme harden history compare results metrics trace pprof j; do
     echo "$flags" | grep -q -- "-$f" || err "benchtab flag -$f (documented) missing"
 done
 flags=$(go run ./cmd/faassim -help 2>&1 || true)
-for f in faultrate faultseed timeout retries shed backend scheme coldstart latency phases; do
+for f in faultrate faultseed timeout retries shed backend scheme harden coldstart latency phases; do
     echo "$flags" | grep -q -- "-$f" || err "faassim flag -$f (documented) missing"
 done
 flags=$(go run ./cmd/faasd -help 2>&1 || true)
-for f in addr addrfile kernels backend scheme shards workers queue maxinflight slots warm timeout breakerfails tier spans trace; do
+for f in addr addrfile kernels backend scheme harden shards workers queue maxinflight slots warm timeout breakerfails tier spans trace; do
     echo "$flags" | grep -q -- "-$f" || err "faasd flag -$f (documented) missing"
 done
 flags=$(go run ./cmd/faasload -help 2>&1 || true)
@@ -91,12 +91,24 @@ smoke "faassim (phases)"      go run ./cmd/faassim -handler regex-filtering -pro
                                   -phases
 smoke "benchtab -scheme"      go run ./cmd/benchtab -scheme zerocost -o /dev/null transition
 smoke "benchtab attribution"  go run ./cmd/benchtab -o /dev/null attribution
+smoke "benchtab -harden"      go run ./cmd/benchtab -harden swivel-sfi -o /dev/null transition
+smoke "faassim (harden)"      go run ./cmd/faassim -handler regex-filtering -procs 2 -seconds 0.2 \
+                                  -harden swivel-sfi
+smoke "sfic (harden)"         go run ./cmd/sfic -mode segue -harden swivel-cet
 smoke "quickstart example"    go run ./examples/quickstart
 
 # An unknown scheme must be rejected with a usage error, not silently
 # accepted as the default.
 if go run ./cmd/faassim -scheme warp -seconds 0.1 >/dev/null 2>&1; then
     err "faassim accepted -scheme warp"
+fi
+
+# Same for an unknown hardening mode.
+if go run ./cmd/faassim -harden retpoline -seconds 0.1 >/dev/null 2>&1; then
+    err "faassim accepted -harden retpoline"
+fi
+if go run ./cmd/benchtab -harden retpoline -o /dev/null transition >/dev/null 2>&1; then
+    err "benchtab accepted -harden retpoline"
 fi
 
 if [ "$fail" -ne 0 ]; then
